@@ -1,0 +1,68 @@
+// Ablation A1: piggyback size versus system scale on a synthetic workload —
+// isolates the paper's scalability argument (§IV.A last paragraph) from the
+// NPB communication patterns.
+//
+// Workload: a neighbour ring with periodic cross-ring shuffles, which makes
+// every process causally depend on every other within a few rounds (worst
+// case for determinant-based protocols).  TDI's piggyback is n identifiers
+// by construction — exactly linear in scale; TAG/TEL grow super-linearly
+// because the determinant population grows with both scale and traffic.
+//
+//   ./abl_scale [--ranks=4,8,16,24,32,48] [--rounds=30]
+#include "bench/common.h"
+#include "mp/comm.h"
+
+using namespace windar;
+using namespace windar::bench;
+
+namespace {
+
+void ring_shuffle_app(ft::Ctx& ctx, int rounds) {
+  const int n = ctx.size();
+  const int me = ctx.rank();
+  for (int round = 0; round < rounds; ++round) {
+    if (round > 0 && round % 10 == 0) ctx.checkpoint({});
+    const int hop = (round % 5 == 4) ? (n / 2 > 0 ? n / 2 : 1) : 1;
+    const int to = (me + hop) % n;
+    const int from = (me - hop + n) % n;
+    if (to == me) continue;
+    mp::send_value(ctx, to, round, me * 1000 + round);
+    (void)mp::recv_value<int>(ctx, from, round);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const auto ranks = opts.int_list("ranks", {4, 8, 16, 24, 32, 48}, "scales");
+  const int rounds = static_cast<int>(opts.integer("rounds", 30, "rounds"));
+  const bool csv = opts.flag("csv", false, "also print CSV");
+  opts.finish();
+
+  util::Table table({"ranks", "protocol", "msgs", "idents/msg", "bytes/msg",
+                     "idents/msg per rank"});
+
+  for (int n : ranks) {
+    for (auto proto : all_protocols()) {
+      ft::JobConfig cfg;
+      cfg.n = n;
+      cfg.protocol = proto;
+      cfg.latency = bench_latency();
+      auto result =
+          ft::run_job(cfg, [&](ft::Ctx& ctx) { ring_shuffle_app(ctx, rounds); });
+      const ft::Metrics& m = result.total;
+      table.row({std::to_string(n), to_string(proto),
+                 std::to_string(m.app_sent), fmt(m.avg_piggyback_idents()),
+                 fmt(m.app_sent ? static_cast<double>(m.piggyback_bytes) /
+                                      static_cast<double>(m.app_sent)
+                                : 0.0),
+                 fmt(m.avg_piggyback_idents() / n, 3)});
+    }
+  }
+
+  table.print("Ablation A1 — piggyback growth with system scale "
+              "(ring + cross-ring shuffle)");
+  if (csv) std::fputs(table.csv().c_str(), stdout);
+  return 0;
+}

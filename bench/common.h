@@ -1,0 +1,83 @@
+// Shared harness pieces for the figure-reproduction benchmarks.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "npb/driver.h"
+#include "util/options.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "windar/runtime.h"
+
+namespace windar::bench {
+
+inline net::LatencyModel bench_latency() {
+  // 100 Mb/s-Ethernet-flavoured but scaled down so 36-run sweeps finish in
+  // minutes: moderate base, cheap per-byte, enough jitter to reorder
+  // independent channels constantly.
+  net::LatencyModel m;
+  m.base = std::chrono::nanoseconds(8'000);
+  m.per_byte = std::chrono::nanoseconds(8);
+  m.jitter = std::chrono::nanoseconds(20'000);
+  return m;
+}
+
+struct NpbJob {
+  npb::App app = npb::App::kLU;
+  int ranks = 4;
+  ft::ProtocolKind protocol = ft::ProtocolKind::kTdi;
+  ft::SendMode mode = ft::SendMode::kNonBlocking;
+  double scale = 1.0;
+  int checkpoint_every = 8;  // iterations; bounds metadata growth like the
+                             // paper's 180 s checkpoint interval
+  std::vector<ft::FaultEvent> faults;
+  std::uint64_t seed = 1;
+};
+
+struct NpbOutcome {
+  ft::JobResult result;
+  double checksum = 0;
+};
+
+inline NpbOutcome run_npb_job(const NpbJob& job) {
+  npb::Params params = npb::make_params(job.app, job.ranks, job.scale);
+  params.checkpoint_every = job.checkpoint_every;
+  ft::JobConfig cfg;
+  cfg.n = job.ranks;
+  cfg.protocol = job.protocol;
+  cfg.mode = job.mode;
+  cfg.latency = bench_latency();
+  cfg.seed = job.seed;
+  cfg.faults = job.faults;
+  cfg.restart_delay_ms = 5;
+  auto checksum = std::make_shared<std::atomic<double>>(0.0);
+  NpbOutcome out;
+  out.result = ft::run_job(cfg, [&](ft::Ctx& ctx) {
+    const double cs = npb::run_app(ctx, params, &ctx);
+    if (ctx.rank() == 0) checksum->store(cs);
+  });
+  out.checksum = checksum->load();
+  return out;
+}
+
+inline const std::vector<npb::App>& all_apps() {
+  static const std::vector<npb::App> apps{npb::App::kLU, npb::App::kBT,
+                                          npb::App::kSP};
+  return apps;
+}
+
+inline const std::vector<ft::ProtocolKind>& all_protocols() {
+  static const std::vector<ft::ProtocolKind> protos{
+      ft::ProtocolKind::kTdi, ft::ProtocolKind::kTag, ft::ProtocolKind::kTel};
+  return protos;
+}
+
+inline std::string fmt(double v, int digits = 2) {
+  return util::fmt_double(v, digits);
+}
+
+}  // namespace windar::bench

@@ -1,0 +1,46 @@
+// Extension bench: the three protocols on the CG and MG communication
+// profiles (the NPB workloads the paper did *not* evaluate) — checks that
+// the Fig. 6/7 shapes generalize beyond LU/BT/SP.
+//
+// Expected: CG's per-iteration allreduce chains make it causally dense, so
+// TAG/TEL grow quickly; MG's mixed message sizes sit between LU and BT.
+// TDI stays at n identifiers regardless.
+//
+//   ./ext_workloads [--ranks=4,8,16,32] [--scale=1.0]
+#include "bench/common.h"
+
+using namespace windar;
+using namespace windar::bench;
+
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const auto ranks = opts.int_list("ranks", {4, 8, 16, 32}, "rank sweep");
+  const double scale = opts.real("scale", 1.0, "iteration scale factor");
+  const bool csv = opts.flag("csv", false, "also print CSV");
+  opts.finish();
+
+  util::Table table({"app", "ranks", "protocol", "msgs", "idents/msg",
+                     "track us/msg", "wall ms"});
+
+  for (auto app : {npb::App::kCG, npb::App::kMG}) {
+    for (int n : ranks) {
+      for (auto proto : all_protocols()) {
+        NpbJob job;
+        job.app = app;
+        job.ranks = n;
+        job.protocol = proto;
+        job.scale = scale;
+        const NpbOutcome out = run_npb_job(job);
+        const ft::Metrics& m = out.result.total;
+        table.row({std::string(to_string(app)), std::to_string(n),
+                   to_string(proto), std::to_string(m.app_sent),
+                   fmt(m.avg_piggyback_idents()), fmt(m.avg_track_us(), 3),
+                   fmt(out.result.wall_ms, 1)});
+      }
+    }
+  }
+
+  table.print("Extension — protocol overheads on CG and MG profiles");
+  if (csv) std::fputs(table.csv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces paper Fig. 6: average amount of piggyback per message (number
+// of identifiers) for the three causal logging protocols on LU / BT / SP at
+// 4, 8, 16, 32 processes.
+//
+// Expected shape (paper §IV.A): TDI piggybacks exactly n identifiers per
+// message (the dependency-interval vector), flat in message frequency; TAG
+// and TEL piggyback determinants (4 identifiers each) and grow sharply with
+// message frequency (LU worst) and with system scale; TEL sits below TAG
+// because stability acknowledgements from the event logger retire
+// determinants early.
+//
+//   ./fig6_piggyback [--ranks=4,8,16,32] [--scale=1.0] [--csv]
+#include "bench/common.h"
+
+using namespace windar;
+using namespace windar::bench;
+
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const auto ranks = opts.int_list("ranks", {4, 8, 16, 32}, "rank sweep");
+  const double scale = opts.real("scale", 1.0, "iteration scale factor");
+  const bool csv = opts.flag("csv", false, "also print CSV");
+  opts.finish();
+
+  util::Table table({"app", "ranks", "protocol", "msgs",
+                     "piggyback idents/msg", "piggyback bytes/msg",
+                     "logger msgs"});
+
+  for (auto app : all_apps()) {
+    for (int n : ranks) {
+      for (auto proto : all_protocols()) {
+        NpbJob job;
+        job.app = app;
+        job.ranks = n;
+        job.protocol = proto;
+        job.scale = scale;
+        const NpbOutcome out = run_npb_job(job);
+        const ft::Metrics& m = out.result.total;
+        table.row({std::string(to_string(app)), std::to_string(n),
+                   to_string(proto), std::to_string(m.app_sent),
+                   fmt(m.avg_piggyback_idents()),
+                   fmt(m.app_sent ? static_cast<double>(m.piggyback_bytes) /
+                                        static_cast<double>(m.app_sent)
+                                  : 0.0),
+                   std::to_string(out.result.logger_batches)});
+      }
+    }
+  }
+
+  table.print(
+      "Fig. 6 — average piggyback per message (identifiers), TDI vs TAG vs TEL");
+  if (csv) std::fputs(table.csv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "mp/collectives.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace windar::mp {
+
+namespace {
+// Collective tags live in a reserved band far above application tags.
+constexpr int kTagBase = 1 << 24;
+}  // namespace
+
+int Coll::op_tag() {
+  // One tag per collective invocation; wraps far later than any run lasts.
+  return kTagBase + static_cast<int>(op_seq_++ % (1u << 22));
+}
+
+util::Bytes Coll::bcast(util::Bytes data, int root) {
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const int tag = op_tag();
+  // Rotate so the root is virtual rank 0.
+  const int vrank = (me - root + n) % n;
+  // Receive from parent (unless root), then forward to children.
+  if (vrank != 0) {
+    const int vparent = (vrank - 1) / 2;
+    const int parent = (vparent + root) % n;
+    Message m = comm_.recv(parent, tag);
+    data = std::move(m.payload);
+  }
+  for (int vchild : {2 * vrank + 1, 2 * vrank + 2}) {
+    if (vchild < n) {
+      comm_.send((vchild + root) % n, tag, data);
+    }
+  }
+  return data;
+}
+
+std::vector<double> Coll::reduce_sum(std::span<const double> contrib,
+                                     int root) {
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const int tag = op_tag();
+  const int vrank = (me - root + n) % n;
+
+  std::vector<double> acc(contrib.begin(), contrib.end());
+  // Children first (deterministic order: left then right), then report up.
+  for (int vchild : {2 * vrank + 1, 2 * vrank + 2}) {
+    if (vchild < n) {
+      auto part = recv_vec<double>(comm_, (vchild + root) % n, tag);
+      WINDAR_CHECK_EQ(part.size(), acc.size()) << "reduce width mismatch";
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += part[i];
+    }
+  }
+  if (vrank != 0) {
+    const int parent = ((vrank - 1) / 2 + root) % n;
+    send_vec<double>(comm_, parent, tag, acc);
+    return {};
+  }
+  return acc;
+}
+
+std::vector<double> Coll::allreduce_sum(std::span<const double> contrib) {
+  std::vector<double> total = reduce_sum(contrib, 0);
+  util::Bytes wire;
+  if (comm_.rank() == 0) {
+    wire.resize(total.size() * sizeof(double));
+    std::memcpy(wire.data(), total.data(), wire.size());
+  }
+  wire = bcast(std::move(wire), 0);
+  std::vector<double> out(wire.size() / sizeof(double));
+  std::memcpy(out.data(), wire.data(), wire.size());
+  return out;
+}
+
+void Coll::barrier() {
+  // Dissemination barrier: log2(n) rounds; in round k, rank i signals
+  // (i + 2^k) mod n and waits for (i - 2^k) mod n.
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const int tag = op_tag();
+  const std::uint8_t token = 1;
+  for (int dist = 1; dist < n; dist *= 2) {
+    comm_.send((me + dist) % n, tag, std::span(&token, 1));
+    (void)comm_.recv((me - dist + n) % n, tag);
+  }
+}
+
+namespace {
+
+void apply_op(Coll::Op op, std::vector<double>& acc,
+              std::span<const double> part) {
+  WINDAR_CHECK_EQ(part.size(), acc.size()) << "reduction width mismatch";
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case Coll::Op::kSum: acc[i] += part[i]; break;
+      case Coll::Op::kMin: acc[i] = std::min(acc[i], part[i]); break;
+      case Coll::Op::kMax: acc[i] = std::max(acc[i], part[i]); break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> Coll::reduce(std::span<const double> contrib, Op op,
+                                 int root) {
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const int tag = op_tag();
+  const int vrank = (me - root + n) % n;
+  std::vector<double> acc(contrib.begin(), contrib.end());
+  for (int vchild : {2 * vrank + 1, 2 * vrank + 2}) {
+    if (vchild < n) {
+      auto part = recv_vec<double>(comm_, (vchild + root) % n, tag);
+      apply_op(op, acc, part);
+    }
+  }
+  if (vrank != 0) {
+    send_vec<double>(comm_, ((vrank - 1) / 2 + root) % n, tag, acc);
+    return {};
+  }
+  return acc;
+}
+
+std::vector<double> Coll::allreduce(std::span<const double> contrib, Op op) {
+  std::vector<double> total = reduce(contrib, op, 0);
+  util::Bytes wire;
+  if (comm_.rank() == 0) {
+    wire.resize(total.size() * sizeof(double));
+    std::memcpy(wire.data(), total.data(), wire.size());
+  }
+  wire = bcast(std::move(wire), 0);
+  std::vector<double> out(wire.size() / sizeof(double));
+  std::memcpy(out.data(), wire.data(), wire.size());
+  return out;
+}
+
+std::vector<std::vector<double>> Coll::allgather(
+    std::span<const double> contrib) {
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const int tag = op_tag();
+  std::vector<std::vector<double>> all(static_cast<std::size_t>(n));
+  all[static_cast<std::size_t>(me)].assign(contrib.begin(), contrib.end());
+  // Ring: in step s, forward the block that originated at (me - s) to the
+  // right neighbour; after n-1 steps everyone has everything.
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const int outgoing = (me - step + n) % n;
+    send_vec<double>(comm_, right, tag,
+                     all[static_cast<std::size_t>(outgoing)]);
+    const int incoming = (me - step - 1 + n) % n;
+    all[static_cast<std::size_t>(incoming)] =
+        recv_vec<double>(comm_, left, tag);
+  }
+  return all;
+}
+
+std::vector<std::vector<double>> Coll::alltoall(
+    const std::vector<std::vector<double>>& blocks) {
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const int tag = op_tag();
+  WINDAR_CHECK_EQ(blocks.size(), static_cast<std::size_t>(n))
+      << "alltoall needs one block per rank";
+  std::vector<std::vector<double>> out(static_cast<std::size_t>(n));
+  out[static_cast<std::size_t>(me)] = blocks[static_cast<std::size_t>(me)];
+  // Shifted pairing: in round r every rank ships the block for (me + r) and
+  // collects the block from (me - r) — a uniform schedule that works for
+  // any n and keeps per-pair traffic strictly ordered.
+  for (int round = 1; round < n; ++round) {
+    const int to = (me + round) % n;
+    const int from = (me - round + n) % n;
+    send_vec<double>(comm_, to, tag, blocks[static_cast<std::size_t>(to)]);
+    out[static_cast<std::size_t>(from)] = recv_vec<double>(comm_, from, tag);
+  }
+  return out;
+}
+
+std::vector<double> Coll::scan_sum(std::span<const double> contrib) {
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const int tag = op_tag();
+  std::vector<double> acc(contrib.begin(), contrib.end());
+  if (me > 0) {
+    auto prefix = recv_vec<double>(comm_, me - 1, tag);
+    WINDAR_CHECK_EQ(prefix.size(), acc.size()) << "scan width mismatch";
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += prefix[i];
+  }
+  if (me + 1 < n) send_vec<double>(comm_, me + 1, tag, acc);
+  return acc;
+}
+
+std::vector<double> Coll::scatter(
+    const std::vector<std::vector<double>>& blocks, int root) {
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const int tag = op_tag();
+  if (me == root) {
+    WINDAR_CHECK_EQ(blocks.size(), static_cast<std::size_t>(n))
+        << "scatter needs one block per rank";
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      send_vec<double>(comm_, r, tag, blocks[static_cast<std::size_t>(r)]);
+    }
+    return blocks[static_cast<std::size_t>(root)];
+  }
+  return recv_vec<double>(comm_, root, tag);
+}
+
+std::vector<util::Bytes> Coll::gather(std::span<const std::uint8_t> contrib,
+                                      int root) {
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const int tag = op_tag();
+  if (me == root) {
+    std::vector<util::Bytes> out(static_cast<std::size_t>(n));
+    out[static_cast<std::size_t>(me)].assign(contrib.begin(), contrib.end());
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      Message m = comm_.recv(r, tag);
+      out[static_cast<std::size_t>(r)] = std::move(m.payload);
+    }
+    return out;
+  }
+  comm_.send(root, tag, contrib);
+  return {};
+}
+
+}  // namespace windar::mp

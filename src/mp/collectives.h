@@ -1,0 +1,82 @@
+// Collective operations built from point-to-point messages.
+//
+// Collectives are implemented *above* the Comm interface so that, when run on
+// the fault-tolerant transport, every constituent message is logged, tracked
+// and replayed like any other — the paper's protocols see collectives as
+// ordinary traffic.  All algorithms use deterministic sources (no
+// ANY_SOURCE), so they are trivially correct under the relaxed execution
+// model.
+//
+// Each Coll instance carries a per-rank operation counter mixed into the
+// message tags, so back-to-back collectives on the same communicator never
+// cross-match.  All ranks must invoke the same sequence of operations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mp/comm.h"
+
+namespace windar::mp {
+
+class Coll {
+ public:
+  explicit Coll(Comm& comm) : comm_(comm) {}
+
+  /// Binomial-tree broadcast from `root`; returns the broadcast bytes.
+  util::Bytes bcast(util::Bytes data, int root);
+
+  /// Reduces per-rank vectors element-wise (sum) onto `root`; every rank
+  /// passes its contribution, only `root` receives the full result (others
+  /// get an empty vector).
+  std::vector<double> reduce_sum(std::span<const double> contrib, int root);
+
+  /// reduce + bcast.
+  std::vector<double> allreduce_sum(std::span<const double> contrib);
+
+  /// Dissemination barrier.
+  void barrier();
+
+  /// Gathers per-rank byte blobs to `root` (rank order); empty elsewhere.
+  std::vector<util::Bytes> gather(std::span<const std::uint8_t> contrib,
+                                  int root);
+
+  /// Element-wise reduction operators.
+  enum class Op { kSum, kMin, kMax };
+
+  /// Generic-op variants of reduce/allreduce.
+  std::vector<double> reduce(std::span<const double> contrib, Op op, int root);
+  std::vector<double> allreduce(std::span<const double> contrib, Op op);
+
+  /// Ring allgather: every rank contributes `contrib`; returns all n
+  /// contributions in rank order (n-1 ring steps, bandwidth-optimal).
+  std::vector<std::vector<double>> allgather(std::span<const double> contrib);
+
+  /// Pairwise-exchange all-to-all: element i of the result is what rank i
+  /// sent to this rank.  All per-pair blocks must have equal width.
+  std::vector<std::vector<double>> alltoall(
+      const std::vector<std::vector<double>>& blocks);
+
+  /// Inclusive prefix sum over rank order: rank r receives the element-wise
+  /// sum of contributions from ranks 0..r (linear chain).
+  std::vector<double> scan_sum(std::span<const double> contrib);
+
+  /// Binomial-tree scatter from `root`: block r of `blocks` (only read at
+  /// the root) lands on rank r.
+  std::vector<double> scatter(const std::vector<std::vector<double>>& blocks,
+                              int root);
+
+  /// Operation counter accessors: applications that checkpoint mid-run must
+  /// save/restore this so re-executed collectives reuse the original tags.
+  std::uint32_t seq() const { return op_seq_; }
+  void reset_seq(std::uint32_t seq) { op_seq_ = seq; }
+
+ private:
+  int op_tag();
+
+  Comm& comm_;
+  std::uint32_t op_seq_ = 0;
+};
+
+}  // namespace windar::mp

@@ -1,0 +1,90 @@
+// MPI-shaped communication interface.
+//
+// Applications (the NPB skeletons, the examples) are written against this
+// interface and run unchanged on either the plain transport (mp::RawComm) or
+// the fault-tolerant recovery layer (windar::Ctx) — mirroring the paper's
+// layering where WINDAR slots beneath the MPI API (paper Fig. 5).
+//
+// Matching semantics: `recv(src, tag)` blocks for a message matching the
+// filters; ANY_SOURCE / ANY_TAG wildcard them.  Like the paper's Algorithm 1,
+// delivery from a given sender is FIFO: a process must consume messages from
+// one peer in the order they were sent.  ANY_SOURCE introduces exactly the
+// non-determinism the paper's §II.C discusses — the delivery order *between*
+// senders is unconstrained and must not affect application correctness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace windar::mp {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  util::Bytes payload;
+};
+
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Sends `payload` to `dst` with `tag`.  Whether this blocks until the
+  /// receiver accepts the message depends on the transport (the paper's
+  /// blocking vs non-blocking send paths).
+  virtual void send(int dst, int tag, std::span<const std::uint8_t> payload) = 0;
+
+  /// Blocks until a message matching (src, tag) is deliverable, then
+  /// delivers it.
+  virtual Message recv(int src = kAnySource, int tag = kAnyTag) = 0;
+
+  /// Non-blocking probe: true if a matching message could be delivered
+  /// right now (a recv with the same filters would not block).  Drains any
+  /// already-arrived traffic opportunistically but never waits.
+  virtual bool probe(int src = kAnySource, int tag = kAnyTag) = 0;
+};
+
+// ---- typed convenience wrappers ----
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void send_value(Comm& c, int dst, int tag, const T& v) {
+  c.send(dst, tag, util::to_bytes(v));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T recv_value(Comm& c, int src = kAnySource, int tag = kAnyTag) {
+  Message m = c.recv(src, tag);
+  return util::from_bytes<T>(m.payload);
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void send_vec(Comm& c, int dst, int tag, std::span<const T> v) {
+  c.send(dst, tag,
+         std::span<const std::uint8_t>(
+             reinterpret_cast<const std::uint8_t*>(v.data()),
+             v.size() * sizeof(T)));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> recv_vec(Comm& c, int src = kAnySource, int tag = kAnyTag) {
+  Message m = c.recv(src, tag);
+  WINDAR_CHECK_EQ(m.payload.size() % sizeof(T), 0u) << "recv_vec misaligned";
+  std::vector<T> out(m.payload.size() / sizeof(T));
+  std::memcpy(out.data(), m.payload.data(), m.payload.size());
+  return out;
+}
+
+}  // namespace windar::mp

@@ -1,0 +1,92 @@
+#include "mp/raw_comm.h"
+
+#include "util/check.h"
+
+namespace windar::mp {
+
+namespace {
+constexpr std::uint16_t kRawKind = 0x7fff;
+}
+
+RawComm::RawComm(net::Fabric& fabric, int rank, int size)
+    : fabric_(fabric),
+      rank_(rank),
+      size_(size),
+      next_send_(static_cast<std::size_t>(size), 1),
+      next_recv_(static_cast<std::size_t>(size), 1) {
+  WINDAR_CHECK_LE(size, fabric.endpoint_count());
+}
+
+void RawComm::send(int dst, int tag, std::span<const std::uint8_t> payload) {
+  WINDAR_CHECK(dst >= 0 && dst < size_) << "send to bad rank " << dst;
+  net::Packet p;
+  p.src = rank_;
+  p.dst = dst;
+  p.kind = kRawKind;
+  p.tag = tag;
+  p.seq = next_send_[static_cast<std::size_t>(dst)]++;
+  p.payload.assign(payload.begin(), payload.end());
+  fabric_.send(std::move(p));
+}
+
+bool RawComm::pump() {
+  auto pkt = fabric_.endpoint(rank_).inbox().pop();
+  if (!pkt) {
+    // Poisoned endpoint: the job is being torn down (peer failure or
+    // shutdown).  Throw instead of aborting so the runner can unwind.
+    throw std::runtime_error("raw transport torn down while in recv");
+  }
+  WINDAR_CHECK_EQ(pkt->kind, kRawKind) << "raw comm got foreign packet";
+  const int src = pkt->src;
+  out_of_order_.emplace(std::make_pair(src, pkt->seq), std::move(*pkt));
+  promote(src);
+  return true;
+}
+
+void RawComm::promote(int src) {
+  // Move the contiguous run of packets from `src` into the ready queue.
+  while (true) {
+    auto it = out_of_order_.find({src, next_recv_[static_cast<std::size_t>(src)]});
+    if (it == out_of_order_.end()) return;
+    ++next_recv_[static_cast<std::size_t>(src)];
+    Message m;
+    m.src = it->second.src;
+    m.tag = it->second.tag;
+    m.payload = std::move(it->second.payload);
+    ready_.push_back(std::move(m));
+    out_of_order_.erase(it);
+  }
+}
+
+bool RawComm::probe(int src, int tag) {
+  // Drain everything that has already arrived, then scan the ready queue.
+  while (auto pkt = fabric_.endpoint(rank_).inbox().try_pop()) {
+    WINDAR_CHECK_EQ(pkt->kind, kRawKind) << "raw comm got foreign packet";
+    const int from = pkt->src;
+    out_of_order_.emplace(std::make_pair(from, pkt->seq), std::move(*pkt));
+    promote(from);
+  }
+  for (const auto& m : ready_) {
+    if ((src == kAnySource || m.src == src) &&
+        (tag == kAnyTag || m.tag == tag)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Message RawComm::recv(int src, int tag) {
+  while (true) {
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+      if ((src == kAnySource || it->src == src) &&
+          (tag == kAnyTag || it->tag == tag)) {
+        Message m = std::move(*it);
+        ready_.erase(it);
+        return m;
+      }
+    }
+    (void)pump();
+  }
+}
+
+}  // namespace windar::mp

@@ -1,0 +1,44 @@
+// Plain (non-fault-tolerant) transport over the simulated fabric.
+//
+// Restores per-pair FIFO on top of the fabric's jittered reordering using a
+// per-sender sequence number, but adds no logging, no piggyback, and no
+// recovery — this is the baseline substrate used for overhead-free reference
+// runs and for unit-testing the fabric and collectives.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "mp/comm.h"
+#include "net/fabric.h"
+
+namespace windar::mp {
+
+class RawComm final : public Comm {
+ public:
+  RawComm(net::Fabric& fabric, int rank, int size);
+
+  int rank() const override { return rank_; }
+  int size() const override { return size_; }
+  void send(int dst, int tag, std::span<const std::uint8_t> payload) override;
+  Message recv(int src, int tag) override;
+  bool probe(int src, int tag) override;
+
+ private:
+  /// Pulls one packet from the inbox (blocking) into the ready/pending
+  /// structures.  Returns false if the endpoint was poisoned.
+  bool pump();
+  void promote(int src);
+
+  net::Fabric& fabric_;
+  int rank_;
+  int size_;
+  std::vector<std::uint64_t> next_send_;   // per-destination next seq
+  std::vector<std::uint64_t> next_recv_;   // per-source expected seq
+  std::map<std::pair<int, std::uint64_t>, net::Packet> out_of_order_;
+  std::deque<Message> ready_;              // FIFO-restored, arrival order
+};
+
+}  // namespace windar::mp

@@ -1,0 +1,78 @@
+// Non-blocking receive requests over the Comm interface.
+//
+// The simulated transports complete sends asynchronously already (buffered
+// in the recovery layer / fabric), so only the receive side needs request
+// objects: irecv registers interest, test() polls via Comm::probe, wait()
+// blocks.  wait_any polls a set of requests — the idiom MPI codes use to
+// overlap halo exchanges with compute.
+#pragma once
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "mp/comm.h"
+#include "util/check.h"
+
+namespace windar::mp {
+
+class RecvRequest {
+ public:
+  RecvRequest() = default;
+  RecvRequest(Comm& comm, int src, int tag)
+      : comm_(&comm), src_(src), tag_(tag) {}
+
+  /// True once the message is available; never blocks.  Idempotent.
+  bool test() {
+    if (done_) return true;
+    WINDAR_CHECK(comm_ != nullptr) << "empty request";
+    if (comm_->probe(src_, tag_)) {
+      done_ = comm_->recv(src_, tag_);
+    }
+    return done_.has_value();
+  }
+
+  /// Blocks until completion and returns the message.  Single-shot: the
+  /// message is moved out.
+  Message wait() {
+    WINDAR_CHECK(comm_ != nullptr) << "empty request";
+    if (!done_) done_ = comm_->recv(src_, tag_);
+    Message out = std::move(*done_);
+    done_.reset();
+    completed_ = true;
+    return out;
+  }
+
+  bool completed() const { return completed_; }
+
+ private:
+  friend std::size_t wait_any(std::vector<RecvRequest>& reqs);
+  Comm* comm_ = nullptr;
+  int src_ = kAnySource;
+  int tag_ = kAnyTag;
+  std::optional<Message> done_;
+  bool completed_ = false;  // wait() consumed the message
+};
+
+inline RecvRequest irecv(Comm& comm, int src = kAnySource,
+                         int tag = kAnyTag) {
+  return RecvRequest(comm, src, tag);
+}
+
+/// Blocks until at least one not-yet-consumed request can complete; returns
+/// its index.  Requests already consumed by wait() are skipped.
+inline std::size_t wait_any(std::vector<RecvRequest>& reqs) {
+  WINDAR_CHECK(!reqs.empty()) << "wait_any on empty set";
+  while (true) {
+    bool any_pending = false;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].completed_) continue;
+      any_pending = true;
+      if (reqs[i].test()) return i;
+    }
+    WINDAR_CHECK(any_pending) << "wait_any: every request already consumed";
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace windar::mp

@@ -1,0 +1,50 @@
+#include "mp/runtime.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mp/raw_comm.h"
+#include "net/fabric.h"
+#include "util/clock.h"
+
+namespace windar::mp {
+
+RawJobResult run_raw(int n, const RankFn& fn, net::LatencyModel model,
+                     std::uint64_t seed) {
+  net::Fabric fabric(n, model, seed);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const double t0 = util::now_ms();
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        RawComm comm(fabric, r, n);
+        fn(comm);
+      } catch (...) {
+        std::scoped_lock lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        // A failed rank leaves peers blocked in recv; tear the job down so
+        // the error surfaces instead of hanging.
+        fabric.shutdown();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double t1 = util::now_ms();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  RawJobResult result;
+  result.wall_ms = t1 - t0;
+  auto stats = fabric.stats();
+  result.packets = stats.packets_sent;
+  result.bytes = stats.bytes_sent;
+  return result;
+}
+
+}  // namespace windar::mp

@@ -1,0 +1,29 @@
+// Plain (no fault tolerance) job runner: one thread per rank over a shared
+// fabric, RawComm transport.  Used by tests and by reference runs that
+// establish the zero-overhead baseline the protocol overheads are measured
+// against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mp/comm.h"
+#include "net/latency.h"
+
+namespace windar::mp {
+
+using RankFn = std::function<void(Comm&)>;
+
+struct RawJobResult {
+  double wall_ms = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Runs `fn` on `n` rank threads; rethrows the first rank exception after
+/// joining everyone.
+RawJobResult run_raw(int n, const RankFn& fn,
+                     net::LatencyModel model = net::LatencyModel{},
+                     std::uint64_t seed = 1);
+
+}  // namespace windar::mp

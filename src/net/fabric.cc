@@ -1,0 +1,101 @@
+#include "net/fabric.h"
+
+#include "util/check.h"
+
+namespace windar::net {
+
+Fabric::Fabric(int endpoints, LatencyModel model, std::uint64_t seed)
+    : model_(model), rng_(seed) {
+  WINDAR_CHECK_GT(endpoints, 0) << "fabric needs at least one endpoint";
+  eps_.reserve(static_cast<std::size_t>(endpoints));
+  for (int i = 0; i < endpoints; ++i) {
+    eps_.push_back(std::make_unique<Endpoint>());
+  }
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Fabric::~Fabric() { shutdown(); }
+
+Endpoint& Fabric::endpoint(EndpointId id) {
+  WINDAR_CHECK(id >= 0 && id < endpoint_count()) << "bad endpoint " << id;
+  return *eps_[static_cast<std::size_t>(id)];
+}
+
+void Fabric::send(Packet p) {
+  WINDAR_CHECK(p.dst >= 0 && p.dst < endpoint_count())
+      << "send to bad endpoint " << p.dst;
+  const std::size_t bytes = p.wire_size();
+  {
+    std::scoped_lock lock(mu_);
+    if (shutdown_) return;
+    const auto delay = model_.delay(bytes, rng_);
+    ++stats_.packets_sent;
+    stats_.bytes_sent += bytes;
+    in_flight_.push(InFlight{std::chrono::steady_clock::now() + delay,
+                             next_order_++, std::move(p)});
+  }
+  cv_.notify_one();
+}
+
+void Fabric::kill(EndpointId id) {
+  Endpoint& ep = endpoint(id);
+  ep.alive_.store(false, std::memory_order_release);
+  // Queued-but-unconsumed packets are volatile state of the crashed node.
+  ep.inbox_.poison();
+}
+
+void Fabric::revive(EndpointId id) {
+  Endpoint& ep = endpoint(id);
+  ep.inbox_.revive();
+  ep.alive_.store(true, std::memory_order_release);
+}
+
+void Fabric::shutdown() {
+  {
+    std::scoped_lock lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  for (auto& ep : eps_) ep->inbox_.poison();
+}
+
+FabricStats Fabric::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+void Fabric::scheduler_loop() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (shutdown_) return;
+    if (in_flight_.empty()) {
+      cv_.wait(lock, [&] { return shutdown_ || !in_flight_.empty(); });
+      continue;
+    }
+    const auto deadline = in_flight_.top().deliver_at;
+    if (std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lock, deadline,
+                     [&] { return shutdown_ ||
+                                  (!in_flight_.empty() &&
+                                   in_flight_.top().deliver_at < deadline); });
+      continue;
+    }
+    // Deadline reached: deliver (or drop) the packet outside the lock so a
+    // full inbox never stalls the whole fabric.
+    Packet p = std::move(const_cast<InFlight&>(in_flight_.top()).packet);
+    in_flight_.pop();
+    Endpoint& dst = *eps_[static_cast<std::size_t>(p.dst)];
+    if (dst.alive()) {
+      ++stats_.packets_delivered;
+      lock.unlock();
+      dst.inbox_.push(std::move(p));
+      lock.lock();
+    } else {
+      ++stats_.packets_dropped_dead;
+    }
+  }
+}
+
+}  // namespace windar::net

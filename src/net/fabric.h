@@ -1,0 +1,113 @@
+// Simulated interconnect.
+//
+// A Fabric owns N endpoints (one per rank, plus auxiliary endpoints such as
+// TEL's stable-storage event logger).  `send` stamps the packet with a
+// delivery deadline drawn from the latency model and hands it to a single
+// scheduler thread, which moves packets into destination inboxes when their
+// deadline passes.  Because channels share the scheduler but draw independent
+// jitter, packets on different channels are frequently reordered relative to
+// their send order — the source of non-deterministic arrival the protocols
+// under study must cope with.
+//
+// Fault plane: `kill(ep)` marks an endpoint dead and discards its queued
+// inbox (a crashed node loses volatile state); in-flight packets that reach a
+// dead endpoint are dropped and counted.  `revive(ep)` re-arms the endpoint
+// for the rank's incarnation.  Recovery-time retransmission is the job of the
+// layers above — the fabric itself is a lossy-when-dead, reordering,
+// otherwise reliable network.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "net/latency.h"
+#include "net/packet.h"
+#include "util/queue.h"
+#include "util/rng.h"
+
+namespace windar::net {
+
+/// Per-endpoint view handed to rank threads.
+class Endpoint {
+ public:
+  util::BlockingQueue<Packet>& inbox() { return inbox_; }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+ private:
+  friend class Fabric;
+  util::BlockingQueue<Packet> inbox_;
+  std::atomic<bool> alive_{true};
+};
+
+struct FabricStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped_dead = 0;  // destination dead at delivery time
+  std::uint64_t bytes_sent = 0;
+};
+
+class Fabric {
+ public:
+  /// `endpoints` includes any auxiliary endpoints (e.g. the TEL logger).
+  Fabric(int endpoints, LatencyModel model, std::uint64_t seed);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int endpoint_count() const { return static_cast<int>(eps_.size()); }
+  Endpoint& endpoint(EndpointId id);
+
+  /// Enqueues a packet for delayed delivery.  Thread-safe.  Packets sent to
+  /// dead endpoints still travel and are dropped on arrival, modelling
+  /// in-flight loss at the moment of a crash.
+  void send(Packet p);
+
+  /// Marks the endpoint dead and discards all packets queued in its inbox.
+  void kill(EndpointId id);
+
+  /// Re-arms a killed endpoint for an incarnation.
+  void revive(EndpointId id);
+
+  /// Stops the scheduler; undelivered packets are discarded.  Idempotent.
+  void shutdown();
+
+  FabricStats stats() const;
+
+ private:
+  struct InFlight {
+    std::chrono::steady_clock::time_point deliver_at;
+    std::uint64_t order;  // tie-break so equal deadlines keep send order
+    Packet packet;
+  };
+  struct Later {
+    bool operator()(const InFlight& a, const InFlight& b) const {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.order > b.order;
+    }
+  };
+
+  void scheduler_loop();
+
+  LatencyModel model_;
+  std::vector<std::unique_ptr<Endpoint>> eps_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<InFlight, std::vector<InFlight>, Later> in_flight_;
+  util::Rng rng_;
+  std::uint64_t next_order_ = 0;
+  bool shutdown_ = false;
+  FabricStats stats_;
+
+  std::thread scheduler_;
+};
+
+}  // namespace windar::net

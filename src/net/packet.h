@@ -1,0 +1,36 @@
+// Wire unit moved by the simulated fabric.
+//
+// The fabric treats `kind`, `tag`, `meta` and `payload` as opaque: framing is
+// defined by the layers above (mp::RawComm for the plain transport, the
+// windar recovery layer for fault-tolerant jobs).  `meta` carries piggybacked
+// protocol metadata separately from the application payload so overhead
+// accounting (paper Fig. 6) can distinguish the two.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace windar::net {
+
+using EndpointId = int;
+
+struct Packet {
+  EndpointId src = -1;
+  EndpointId dst = -1;
+  std::uint16_t kind = 0;   // layer-defined message kind
+  std::int32_t tag = 0;     // application tag (MPI-style)
+  std::uint64_t seq = 0;    // layer-defined sequence number
+  util::Bytes meta;         // piggybacked protocol metadata
+  util::Bytes payload;      // application bytes
+
+  /// Bytes this packet occupies on the simulated wire: a fixed header plus
+  /// both byte sections.  Drives the latency model and bandwidth accounting.
+  std::size_t wire_size() const {
+    // src + dst + kind + tag + seq + two u32 length prefixes.
+    constexpr std::size_t kHeader = 4 + 4 + 2 + 4 + 8 + 4 + 4;
+    return kHeader + meta.size() + payload.size();
+  }
+};
+
+}  // namespace windar::net

@@ -1,0 +1,28 @@
+// ADI multi-partition skeleton shared by the BT and SP workloads.
+//
+// Per iteration, each direction (x, then y) performs face exchanges with the
+// two neighbours followed by a relaxation using the received halos, and the
+// z direction runs a local line sweep.  BT exchanges one large 5-component
+// face per direction per neighbour (large messages, low frequency); SP runs
+// two half-sweeps per direction (forward/backward substitution of the
+// pentadiagonal solver), doubling the message count with smaller faces.
+#pragma once
+
+#include "mp/comm.h"
+#include "npb/workload.h"
+#include "windar/runtime.h"
+
+namespace windar::npb {
+
+double run_adi(mp::Comm& comm, const Params& params, ft::Ctx* ft,
+               int exchanges_per_dir);
+
+inline double run_bt(mp::Comm& comm, const Params& params, ft::Ctx* ft) {
+  return run_adi(comm, params, ft, /*exchanges_per_dir=*/1);
+}
+
+inline double run_sp(mp::Comm& comm, const Params& params, ft::Ctx* ft) {
+  return run_adi(comm, params, ft, /*exchanges_per_dir=*/2);
+}
+
+}  // namespace windar::npb

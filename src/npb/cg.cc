@@ -1,0 +1,103 @@
+#include "npb/cg.h"
+
+#include <cmath>
+
+#include "mp/collectives.h"
+#include "npb/state.h"
+
+namespace windar::npb {
+
+namespace {
+constexpr int kTagTranspose = 300;
+}
+
+double run_cg(mp::Comm& comm, const Params& params, ft::Ctx* ft) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  const int len = params.nx;
+
+  // Transpose partner: bit-reversal-flavoured pairing like NPB CG's
+  // reduce-exchange, degraded gracefully for odd n.
+  const int partner = (n % 2 == 0) ? (me ^ 1) : ((me + 1) % n);
+  const int reverse_partner = (n % 2 == 0) ? (me ^ 1) : ((me - 1 + n) % n);
+
+  IterState st;
+  mp::Coll coll(comm);
+  if (ft && ft->restored()) {
+    st = IterState::deserialize(*ft->restored());
+    coll.reset_seq(st.coll_seq);
+  } else {
+    st.u.resize(static_cast<std::size_t>(2 * len));  // [x | p]
+    for (int i = 0; i < len; ++i) {
+      st.u[static_cast<std::size_t>(i)] = 0.0;  // x
+      st.u[static_cast<std::size_t>(len + i)] =
+          std::sin(0.01 * (me * len + i)) + 1.0;  // p
+    }
+  }
+  auto x = [&](int i) -> double& { return st.u[static_cast<std::size_t>(i)]; };
+  auto p = [&](int i) -> double& {
+    return st.u[static_cast<std::size_t>(len + i)];
+  };
+
+  std::vector<double> q(static_cast<std::size_t>(len));
+  for (int iter = st.iter; iter < params.iterations; ++iter) {
+    if (ft && params.checkpoint_every > 0 && iter > 0 &&
+        iter % params.checkpoint_every == 0) {
+      st.iter = iter;
+      st.coll_seq = coll.seq();
+      ft->checkpoint(st.serialize());
+    }
+
+    // ---- transpose exchange of the search vector ----
+    std::vector<double> theirs(static_cast<std::size_t>(len));
+    if (n > 1) {
+      std::vector<double> mine(static_cast<std::size_t>(len));
+      for (int i = 0; i < len; ++i) mine[static_cast<std::size_t>(i)] = p(i);
+      if (me < partner || n % 2 != 0) {
+        mp::send_vec<double>(comm, partner, kTagTranspose, mine);
+        theirs = mp::recv_vec<double>(comm, reverse_partner, kTagTranspose);
+      } else {
+        theirs = mp::recv_vec<double>(comm, reverse_partner, kTagTranspose);
+        mp::send_vec<double>(comm, partner, kTagTranspose, mine);
+      }
+    } else {
+      for (int i = 0; i < len; ++i) theirs[static_cast<std::size_t>(i)] = p(i);
+    }
+
+    // ---- local banded "matvec": q = A p  (A = tridiagonal + coupling) ----
+    for (int i = 0; i < len; ++i) {
+      const double left = i > 0 ? p(i - 1) : theirs[static_cast<std::size_t>(len - 1)];
+      const double right = i + 1 < len ? p(i + 1) : theirs[0];
+      q[static_cast<std::size_t>(i)] =
+          2.5 * p(i) - 0.6 * left - 0.6 * right +
+          0.1 * theirs[static_cast<std::size_t>(i)];
+    }
+    compute_spin(params.compute_ns_per_step);
+
+    // ---- dot products via allreduce (rho = p.q, norm = q.q) ----
+    double pq = 0.0, qq = 0.0;
+    for (int i = 0; i < len; ++i) {
+      pq += p(i) * q[static_cast<std::size_t>(i)];
+      qq += q[static_cast<std::size_t>(i)] * q[static_cast<std::size_t>(i)];
+    }
+    const double contrib[2] = {pq, qq};
+    const auto dots = coll.allreduce_sum(contrib);
+    const double alpha = dots[1] != 0.0 ? dots[0] / dots[1] : 0.0;
+
+    // ---- vector updates ----
+    for (int i = 0; i < len; ++i) {
+      x(i) += alpha * p(i);
+      p(i) = q[static_cast<std::size_t>(i)] * 0.5 + p(i) * 0.5 -
+             1e-3 * alpha;
+    }
+    st.racc = 0.5 * st.racc + alpha;
+  }
+
+  double local = 0.0;
+  for (int i = 0; i < len; ++i) local += std::abs(x(i));
+  const double contrib[2] = {local, st.racc};
+  const auto total = coll.allreduce_sum(contrib);
+  return total[0] + total[1];
+}
+
+}  // namespace windar::npb

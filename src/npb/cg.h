@@ -1,0 +1,19 @@
+// CG skeleton: the NPB conjugate-gradient communication pattern (extension
+// beyond the paper's LU/BT/SP evaluation set).
+//
+// Each iteration of the solver performs a transpose exchange of the search
+// vector with a partner rank (medium-size messages), a local banded
+// matrix-vector product, and two dot-product allreduces (rho and alpha) —
+// collective-heavy traffic with per-iteration global synchronization, a
+// profile none of the paper's three benchmarks exhibits.
+#pragma once
+
+#include "mp/comm.h"
+#include "npb/workload.h"
+#include "windar/runtime.h"
+
+namespace windar::npb {
+
+double run_cg(mp::Comm& comm, const Params& params, ft::Ctx* ft);
+
+}  // namespace windar::npb

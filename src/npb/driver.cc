@@ -1,0 +1,19 @@
+#include "npb/driver.h"
+
+#include "util/check.h"
+
+namespace windar::npb {
+
+double run_app(mp::Comm& comm, const Params& params, ft::Ctx* ft) {
+  switch (params.app) {
+    case App::kLU: return run_lu(comm, params, ft);
+    case App::kBT: return run_bt(comm, params, ft);
+    case App::kSP: return run_sp(comm, params, ft);
+    case App::kCG: return run_cg(comm, params, ft);
+    case App::kMG: return run_mg(comm, params, ft);
+  }
+  WINDAR_CHECK(false) << "unknown app";
+  return 0.0;
+}
+
+}  // namespace windar::npb

@@ -1,0 +1,17 @@
+// Entry point for running one NPB skeleton on any transport.
+#pragma once
+
+#include "mp/comm.h"
+#include "npb/adi.h"
+#include "npb/cg.h"
+#include "npb/lu.h"
+#include "npb/mg.h"
+#include "npb/workload.h"
+
+namespace windar::npb {
+
+/// Dispatches to the skeleton named by params.app.  Returns the verification
+/// checksum.  `ft` (nullable) enables checkpoint/restart.
+double run_app(mp::Comm& comm, const Params& params, ft::Ctx* ft = nullptr);
+
+}  // namespace windar::npb

@@ -1,0 +1,22 @@
+// LU skeleton: SSOR wavefront sweeps (the NPB LU communication pattern).
+//
+// The global nx*ny*nz grid is decomposed over a 2-D process grid in (x, y);
+// every SSOR iteration performs a lower-triangular sweep (dependencies from
+// west/north/below, pipelined plane by plane along k) and an upper sweep in
+// the reverse direction.  Each plane exchanges one-column / one-row pencils
+// with the four neighbours — many small messages, the paper's "high message
+// frequency" profile.
+#pragma once
+
+#include "mp/comm.h"
+#include "npb/workload.h"
+#include "windar/runtime.h"
+
+namespace windar::npb {
+
+/// Runs the skeleton and returns the verification checksum (identical across
+/// failure-free and failure+recovery executions).  `ft` enables
+/// checkpointing / restart; pass nullptr on the raw transport.
+double run_lu(mp::Comm& comm, const Params& params, ft::Ctx* ft);
+
+}  // namespace windar::npb

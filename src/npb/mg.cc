@@ -1,0 +1,134 @@
+#include "npb/mg.h"
+
+#include <cmath>
+
+#include "mp/collectives.h"
+#include "npb/state.h"
+
+namespace windar::npb {
+
+namespace {
+
+constexpr int kTagHalo = 400;
+
+// Width of one rank's grid at `level` (level 0 = finest).
+int level_width(int fine, int level) { return fine >> level; }
+
+}  // namespace
+
+double run_mg(mp::Comm& comm, const Params& params, ft::Ctx* ft) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  const int fine = params.nx;
+  const int levels = params.components;
+  const int left = me > 0 ? me - 1 : -1;
+  const int right = me + 1 < n ? me + 1 : -1;
+
+  IterState st;
+  mp::Coll coll(comm);
+  // Storage: concatenated per-level grids (fine + fine/2 + ...).
+  std::size_t total = 0;
+  std::vector<std::size_t> offset(static_cast<std::size_t>(levels));
+  for (int l = 0; l < levels; ++l) {
+    offset[static_cast<std::size_t>(l)] = total;
+    total += static_cast<std::size_t>(level_width(fine, l));
+  }
+  if (ft && ft->restored()) {
+    st = IterState::deserialize(*ft->restored());
+    coll.reset_seq(st.coll_seq);
+  } else {
+    st.u.assign(total, 0.0);
+    for (int i = 0; i < fine; ++i) {
+      st.u[static_cast<std::size_t>(i)] =
+          std::sin(0.02 * (me * fine + i)) + 1.0;
+    }
+  }
+  auto grid = [&](int level, int i) -> double& {
+    return st.u[offset[static_cast<std::size_t>(level)] +
+                static_cast<std::size_t>(i)];
+  };
+
+  // Halo exchange + red/black-ish relaxation at one level.  The exchanged
+  // boundary block is a fixed fraction of the level width, so messages
+  // shrink 2x per level.
+  auto relax = [&](int level) {
+    const int w = level_width(fine, level);
+    const int halo = std::max(1, w / 8);
+    double lbc = 0.25, rbc = 0.75;
+    std::vector<double> edge(static_cast<std::size_t>(halo));
+    if (right >= 0) {
+      for (int i = 0; i < halo; ++i) {
+        edge[static_cast<std::size_t>(i)] = grid(level, w - halo + i);
+      }
+      mp::send_vec<double>(comm, right, kTagHalo + level, edge);
+    }
+    if (left >= 0) {
+      auto h = mp::recv_vec<double>(comm, left, kTagHalo + level);
+      lbc = h.back();
+      mp::send_vec<double>(comm, left, kTagHalo + level,
+                           {st.u.data() + offset[static_cast<std::size_t>(level)],
+                            static_cast<std::size_t>(halo)});
+    }
+    if (right >= 0) {
+      auto h = mp::recv_vec<double>(comm, right, kTagHalo + level);
+      rbc = h.front();
+    }
+    for (int i = 0; i < w; ++i) {
+      const double l = i > 0 ? grid(level, i - 1) : lbc;
+      const double r = i + 1 < w ? grid(level, i + 1) : rbc;
+      grid(level, i) = 0.5 * grid(level, i) + 0.25 * (l + r);
+    }
+    compute_spin(params.compute_ns_per_step >> level);
+  };
+
+  for (int iter = st.iter; iter < params.iterations; ++iter) {
+    if (ft && params.checkpoint_every > 0 && iter > 0 &&
+        iter % params.checkpoint_every == 0) {
+      st.iter = iter;
+      st.coll_seq = coll.seq();
+      ft->checkpoint(st.serialize());
+    }
+
+    // ---- V-cycle down: relax, then restrict (full weighting) ----
+    for (int l = 0; l < levels - 1; ++l) {
+      relax(l);
+      const int wc = level_width(fine, l + 1);
+      for (int i = 0; i < wc; ++i) {
+        grid(l + 1, i) = 0.5 * grid(l, 2 * i) +
+                         0.25 * (grid(l, std::max(0, 2 * i - 1)) +
+                                 grid(l, std::min(level_width(fine, l) - 1,
+                                                  2 * i + 1)));
+      }
+    }
+    relax(levels - 1);  // coarsest
+    // ---- V-cycle up: prolong (linear) and relax ----
+    for (int l = levels - 2; l >= 0; --l) {
+      const int wc = level_width(fine, l + 1);
+      for (int i = 0; i < wc; ++i) {
+        grid(l, 2 * i) = 0.7 * grid(l, 2 * i) + 0.3 * grid(l + 1, i);
+        if (2 * i + 1 < level_width(fine, l)) {
+          const double next = i + 1 < wc ? grid(l + 1, i + 1) : grid(l + 1, i);
+          grid(l, 2 * i + 1) =
+              0.7 * grid(l, 2 * i + 1) + 0.15 * (grid(l + 1, i) + next);
+        }
+      }
+      relax(l);
+    }
+
+    if ((iter + 1) % params.residual_every == 0) {
+      double local = 0.0;
+      for (int i = 0; i < fine; ++i) local += grid(0, i) * grid(0, i);
+      const double contrib[1] = {local};
+      const auto tot = coll.allreduce_sum(contrib);
+      st.racc = 0.5 * st.racc + std::sqrt(tot[0]);
+    }
+  }
+
+  double local = 0.0;
+  for (int i = 0; i < fine; ++i) local += std::abs(grid(0, i));
+  const double contrib[2] = {local, st.racc};
+  const auto tot = coll.allreduce_sum(contrib);
+  return tot[0] + tot[1];
+}
+
+}  // namespace windar::npb

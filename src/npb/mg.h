@@ -1,0 +1,19 @@
+// MG skeleton: the NPB multigrid communication pattern (extension beyond
+// the paper's LU/BT/SP evaluation set).
+//
+// Each iteration runs a V-cycle over `components` levels of a 1-D
+// decomposed grid: going down, the halo exchanged with each neighbour
+// shrinks geometrically with the level (restriction), then grows back on
+// the way up (prolongation).  The result is a traffic mix of message sizes
+// spanning two orders of magnitude — the profile MG is known for.
+#pragma once
+
+#include "mp/comm.h"
+#include "npb/workload.h"
+#include "windar/runtime.h"
+
+namespace windar::npb {
+
+double run_mg(mp::Comm& comm, const Params& params, ft::Ctx* ft);
+
+}  // namespace windar::npb

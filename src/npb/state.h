@@ -1,0 +1,46 @@
+// Application-level checkpoint state shared by the NPB skeletons.
+//
+// The skeletons checkpoint at iteration boundaries: the blob is the loop
+// index, the collective-operation counter (so re-executed collectives reuse
+// their original tags), the full local grid, and the residual accumulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace windar::npb {
+
+struct IterState {
+  int iter = 0;
+  std::uint32_t coll_seq = 0;
+  std::vector<double> u;
+  double racc = 0.0;
+
+  util::Bytes serialize() const {
+    util::ByteWriter w;
+    w.i32(iter);
+    w.u32(coll_seq);
+    w.f64(racc);
+    w.u32(static_cast<std::uint32_t>(u.size()));
+    for (double v : u) w.f64(v);
+    return w.take();
+  }
+
+  static IterState deserialize(std::span<const std::uint8_t> data) {
+    util::ByteReader r(data);
+    IterState s;
+    s.iter = r.i32();
+    s.coll_seq = r.u32();
+    s.racc = r.f64();
+    const std::uint32_t n = r.u32();
+    s.u.resize(n);
+    for (auto& v : s.u) v = r.f64();
+    WINDAR_CHECK(r.exhausted()) << "trailing app-state bytes";
+    return s;
+  }
+};
+
+}  // namespace windar::npb

@@ -1,0 +1,52 @@
+// 2-D process topology helpers for the NPB skeletons.
+#pragma once
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace windar::npb {
+
+/// Near-square factorization px * py == n with px >= py.
+inline std::pair<int, int> factor2(int n) {
+  WINDAR_CHECK_GT(n, 0) << "bad process count";
+  int py = 1;
+  for (int d = 1; d * d <= n; ++d) {
+    if (n % d == 0) py = d;
+  }
+  return {n / py, py};
+}
+
+/// Cartesian 2-D grid of processes, row-major rank layout.
+struct Grid2D {
+  int px = 1;  // columns (x direction)
+  int py = 1;  // rows (y direction)
+  int cx = 0;  // this process's x coordinate
+  int cy = 0;  // this process's y coordinate
+
+  Grid2D(int rank, int n) {
+    auto [fx, fy] = factor2(n);
+    px = fx;
+    py = fy;
+    cx = rank % px;
+    cy = rank / px;
+  }
+
+  int rank_of(int x, int y) const { return y * px + x; }
+  int west() const { return cx > 0 ? rank_of(cx - 1, cy) : -1; }
+  int east() const { return cx + 1 < px ? rank_of(cx + 1, cy) : -1; }
+  int north() const { return cy > 0 ? rank_of(cx, cy - 1) : -1; }
+  int south() const { return cy + 1 < py ? rank_of(cx, cy + 1) : -1; }
+
+  /// Splits `total` cells over `parts`, giving earlier parts the remainder.
+  static int chunk(int total, int parts, int index) {
+    return total / parts + (index < total % parts ? 1 : 0);
+  }
+  static int offset(int total, int parts, int index) {
+    const int base = total / parts;
+    const int rem = total % parts;
+    return index * base + (index < rem ? index : rem);
+  }
+};
+
+}  // namespace windar::npb

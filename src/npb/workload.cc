@@ -1,0 +1,81 @@
+#include "npb/workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace windar::npb {
+
+Params make_params(App app, int nranks, double scale) {
+  (void)nranks;
+  Params p;
+  p.app = app;
+  auto scaled = [&](int iters) {
+    return std::max(2, static_cast<int>(std::lround(iters * scale)));
+  };
+  switch (app) {
+    case App::kLU:
+      p.compute_ns_per_step = 25'000;  // per wavefront plane
+      // High message frequency, small messages, small checkpoint:
+      // wavefront pencils of one j-line per k plane.
+      p.nx = 32;
+      p.ny = 32;
+      p.nz = 12;
+      p.components = 1;
+      p.iterations = scaled(20);
+      p.residual_every = 5;
+      break;
+    case App::kBT:
+      p.compute_ns_per_step = 200'000;  // per ADI direction sweep
+      // Large messages (5-component faces), low frequency, big checkpoint.
+      p.nx = 24;
+      p.ny = 24;
+      p.nz = 24;
+      p.components = 5;
+      p.iterations = scaled(10);
+      p.residual_every = 5;
+      break;
+    case App::kSP:
+      p.compute_ns_per_step = 80'000;  // per ADI half-sweep
+      // Moderate on both axes.
+      p.nx = 20;
+      p.ny = 20;
+      p.nz = 20;
+      p.components = 3;
+      p.iterations = scaled(16);
+      p.residual_every = 4;
+      break;
+    case App::kCG:
+      // Transpose exchanges + two dot-product allreduces per iteration:
+      // medium messages, collective-heavy.  nx = unknowns per rank-row.
+      p.compute_ns_per_step = 60'000;
+      p.nx = 512;  // vector length per rank
+      p.iterations = scaled(18);
+      p.residual_every = 1;  // CG reduces every iteration by nature
+      break;
+    case App::kMG:
+      // V-cycles with geometrically shrinking halo messages: a mix of
+      // sizes no other workload produces.  nx = fine-grid points per rank.
+      p.compute_ns_per_step = 40'000;
+      p.nx = 256;
+      p.components = 4;  // V-cycle depth (levels)
+      p.iterations = scaled(12);
+      p.residual_every = 3;
+      break;
+  }
+  return p;
+}
+
+void compute_spin(int ns) {
+  if (ns <= 0) return;
+  // Busy wait (not sleep): models CPU-bound numerics that keep the rank from
+  // servicing communication, which matters for the blocking-mode results.
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::nanoseconds(ns);
+  volatile double sink = 1.0;
+  while (std::chrono::steady_clock::now() < until) {
+    for (int i = 0; i < 64; ++i) sink = sink * 1.0000001 + 1e-9;
+  }
+}
+
+}  // namespace windar::npb

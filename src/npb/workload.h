@@ -1,0 +1,60 @@
+// NPB 2.3 skeleton workload definitions.
+//
+// The three applications reproduce the communication *profiles* the paper
+// relies on (§IV): LU has high message frequency and small messages (pencil
+// exchanges in SSOR wavefront sweeps, small checkpoints), BT has large
+// messages at low frequency and large checkpoints (ADI multi-partition face
+// exchanges with 5 solution components), SP sits in between.  The compute
+// kernels are genuine relaxation stencils whose converged checksum acts as
+// the correctness oracle for recovery tests: any lost, duplicated or
+// mis-ordered delivery changes the checksum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace windar::npb {
+
+enum class App {
+  kLU,  // paper evaluation set
+  kBT,
+  kSP,
+  kCG,  // extensions: the other NPB 2.3 communication profiles
+  kMG,
+};
+
+inline const char* to_string(App a) {
+  switch (a) {
+    case App::kLU: return "LU";
+    case App::kBT: return "BT";
+    case App::kSP: return "SP";
+    case App::kCG: return "CG";
+    case App::kMG: return "MG";
+  }
+  return "?";
+}
+
+/// Shape parameters for one run.  Defaults come from make_params; tests use
+/// smaller `scale` values for speed.
+struct Params {
+  App app = App::kLU;
+  int nx = 32, ny = 32, nz = 16;  // global grid
+  int iterations = 24;
+  int components = 1;      // solution components per cell (BT/SP: 5)
+  int residual_every = 6;  // allreduce cadence
+  int checkpoint_every = 0;  // iterations between checkpoints; 0 = never
+  // Busy-work accompanying each communication step, standing in for the
+  // full NPB numerics (the skeletons keep only a light stencil).  This sets
+  // the compute:communication ratio, which the overhead measurements are
+  // sensitive to.
+  int compute_ns_per_step = 0;
+};
+
+/// Paper-profile parameters for `app` at `nranks` ranks.  `scale` in (0, 1]
+/// shrinks iteration counts for fast test runs.
+Params make_params(App app, int nranks, double scale = 1.0);
+
+/// Deterministic busy work for ~`ns` nanoseconds (no effect on results).
+void compute_spin(int ns);
+
+}  // namespace windar::npb

@@ -1,0 +1,11 @@
+#include "util/check.h"
+
+namespace windar::util {
+
+[[noreturn]] void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[windar panic] %s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace windar::util

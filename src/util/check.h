@@ -1,0 +1,66 @@
+// Lightweight invariant checking.
+//
+// WINDAR_CHECK is always on (including release builds): the protocols in this
+// library defend distributed invariants whose violation must never be
+// silently ignored.  WINDAR_DCHECK compiles out in NDEBUG builds and is meant
+// for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace windar::util {
+
+/// Terminates the program with a formatted message.  Marked noreturn so
+/// callers may use it as the tail of a non-void function.
+[[noreturn]] void panic(const char* file, int line, const std::string& msg);
+
+namespace detail {
+
+/// Stream-style message builder used by the check macros:
+/// `WINDAR_CHECK(x) << "context " << y;`
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr)
+      : file_(file), line_(line) {
+    stream_ << "CHECK failed: " << expr;
+  }
+
+  [[noreturn]] ~CheckFailure() noexcept(false) {
+    panic(file_, line_, stream_.str());
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace windar::util
+
+#define WINDAR_CHECK(cond)                                             \
+  if (cond) {                                                          \
+  } else /* NOLINT */                                                  \
+    ::windar::util::detail::CheckFailure(__FILE__, __LINE__, #cond) << ": "
+
+#define WINDAR_CHECK_EQ(a, b) WINDAR_CHECK((a) == (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+#define WINDAR_CHECK_NE(a, b) WINDAR_CHECK((a) != (b)) << #a "=" << (a) << " "
+#define WINDAR_CHECK_LE(a, b) WINDAR_CHECK((a) <= (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+#define WINDAR_CHECK_LT(a, b) WINDAR_CHECK((a) < (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+#define WINDAR_CHECK_GE(a, b) WINDAR_CHECK((a) >= (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+#define WINDAR_CHECK_GT(a, b) WINDAR_CHECK((a) > (b)) << #a "=" << (a) << " " #b "=" << (b) << " "
+
+#ifdef NDEBUG
+#define WINDAR_DCHECK(cond) WINDAR_CHECK(true)
+#else
+#define WINDAR_DCHECK(cond) WINDAR_CHECK(cond)
+#endif

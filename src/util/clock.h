@@ -1,0 +1,47 @@
+// Monotonic timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace windar::util {
+
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double now_us() { return static_cast<double>(now_ns()) / 1e3; }
+inline double now_ms() { return static_cast<double>(now_ns()) / 1e6; }
+
+/// Accumulating stopwatch: time spent between start()/stop() pairs.  Used to
+/// attribute CPU time to protocol tracking code (paper Fig. 7).
+class Stopwatch {
+ public:
+  void start() { t0_ = now_ns(); }
+  void stop() { total_ns_ += now_ns() - t0_; ++laps_; }
+  std::int64_t total_ns() const { return total_ns_; }
+  double total_us() const { return static_cast<double>(total_ns_) / 1e3; }
+  std::uint64_t laps() const { return laps_; }
+  void reset() { total_ns_ = 0; laps_ = 0; }
+
+ private:
+  std::int64_t t0_ = 0;
+  std::int64_t total_ns_ = 0;
+  std::uint64_t laps_ = 0;
+};
+
+/// RAII lap over a Stopwatch.
+class ScopedLap {
+ public:
+  explicit ScopedLap(Stopwatch& sw) : sw_(sw) { sw_.start(); }
+  ~ScopedLap() { sw_.stop(); }
+  ScopedLap(const ScopedLap&) = delete;
+  ScopedLap& operator=(const ScopedLap&) = delete;
+
+ private:
+  Stopwatch& sw_;
+};
+
+}  // namespace windar::util

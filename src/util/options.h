@@ -1,0 +1,51 @@
+// Minimal command-line option parser for benchmark and example binaries.
+//
+// Syntax: --name=value or --name value; --flag for booleans.  Unknown
+// options abort with a usage listing, so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace windar::util {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  /// Declares an option with a default; returns the parsed value.  Also
+  /// registers the option for usage/unknown-option reporting, so declare all
+  /// options before calling `finish()`.
+  std::string str(const std::string& name, const std::string& def,
+                  const std::string& help = "");
+  std::int64_t integer(const std::string& name, std::int64_t def,
+                       const std::string& help = "");
+  double real(const std::string& name, double def, const std::string& help = "");
+  bool flag(const std::string& name, bool def, const std::string& help = "");
+
+  /// Parses a comma-separated integer list, e.g. --ranks=4,8,16,32.
+  std::vector<int> int_list(const std::string& name,
+                            const std::vector<int>& def,
+                            const std::string& help = "");
+
+  /// Call after declaring all options: aborts on unknown or `--help`.
+  void finish();
+
+ private:
+  struct Decl {
+    std::string name;
+    std::string def;
+    std::string help;
+  };
+
+  const std::string* find(const std::string& name) const;
+
+  std::string prog_;
+  std::map<std::string, std::string> given_;
+  std::vector<Decl> decls_;
+  bool help_requested_ = false;
+};
+
+}  // namespace windar::util

@@ -1,0 +1,101 @@
+// Blocking MPMC queue with poisoning and deadline waits.
+//
+// Endpoint inboxes and the non-blocking send path (paper Fig. 4(b), queues A
+// and B) are built on this.  `poison()` wakes all waiters and makes further
+// pops fail fast — it is how a fault-injected rank thread is torn down while
+// blocked on its inbox.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace windar::util {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Pushes an item; wakes one waiter.  Pushing to a poisoned queue drops the
+  /// item (the consumer is gone by definition).
+  void push(T item) {
+    {
+      std::scoped_lock lock(mu_);
+      if (poisoned_) return;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or the queue is poisoned.
+  /// Returns nullopt only when poisoned.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return poisoned_ || !items_.empty(); });
+    return take_locked();
+  }
+
+  /// Blocks until an item is available, the deadline passes, or the queue is
+  /// poisoned.  Returns nullopt on timeout or poison; use `poisoned()` to
+  /// distinguish.
+  std::optional<T> pop_until(Clock::time_point deadline) {
+    std::unique_lock lock(mu_);
+    cv_.wait_until(lock, deadline,
+                   [&] { return poisoned_ || !items_.empty(); });
+    return take_locked();
+  }
+
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mu_);
+    return take_locked();
+  }
+
+  /// Marks the queue dead: pending and future pops return nullopt, future
+  /// pushes are dropped.
+  void poison() {
+    {
+      std::scoped_lock lock(mu_);
+      poisoned_ = true;
+      items_.clear();
+    }
+    cv_.notify_all();
+  }
+
+  /// Re-arms a poisoned queue (used when an incarnation reclaims a rank's
+  /// endpoint slot).
+  void revive() {
+    std::scoped_lock lock(mu_);
+    poisoned_ = false;
+  }
+
+  bool poisoned() const {
+    std::scoped_lock lock(mu_);
+    return poisoned_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::optional<T> take_locked() {
+    if (poisoned_ || items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool poisoned_ = false;
+};
+
+}  // namespace windar::util

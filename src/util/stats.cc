@@ -1,0 +1,84 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace windar::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ = (na * mean_ + nb * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::add(double x) {
+  ++total_;
+  // Uniform thinning: once full, keep every `stride_`-th sample.  This keeps
+  // percentiles approximately right for stationary streams while bounding
+  // memory on long benchmark runs.
+  if (total_ % stride_ != 0) return;
+  if (xs_.size() >= limit_) {
+    std::vector<double> kept;
+    kept.reserve(xs_.size() / 2);
+    for (std::size_t i = 0; i < xs_.size(); i += 2) kept.push_back(xs_[i]);
+    xs_ = std::move(kept);
+    stride_ *= 2;
+    if (total_ % stride_ != 0) return;
+  }
+  xs_.push_back(x);
+  sorted_ = false;
+}
+
+double Samples::percentile(double q) const {
+  WINDAR_CHECK(q >= 0.0 && q <= 1.0) << "bad quantile " << q;
+  if (xs_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+std::string fmt_double(double x, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, x);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace windar::util

@@ -1,0 +1,60 @@
+// Small statistics helpers used by the metrics plane and bench harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace windar::util {
+
+/// Streaming mean/variance/min/max (Welford).  Thread-compatible: callers
+/// synchronize externally or keep one per thread and merge.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Reservoir of raw samples with percentile queries; bounded memory via
+/// uniform thinning once `limit` samples are held.
+class Samples {
+ public:
+  explicit Samples(std::size_t limit = 1 << 20) : limit_(limit) {}
+
+  void add(double x);
+  /// q in [0, 1]; linear interpolation between order statistics.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  std::size_t count() const { return total_; }
+  const std::vector<double>& raw() const { return xs_; }
+
+ private:
+  std::size_t limit_;
+  std::size_t total_ = 0;
+  std::size_t stride_ = 1;
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
+};
+
+/// Formats `x` with `digits` significant decimals, trimming trailing zeros.
+std::string fmt_double(double x, int digits = 3);
+
+}  // namespace windar::util

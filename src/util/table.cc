@@ -1,0 +1,55 @@
+#include "util/table.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace windar::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  WINDAR_CHECK_EQ(cells.size(), header_.size()) << "row width mismatch";
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(width[c]), r[c].c_str(),
+                  c + 1 == r.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  std::string rule(total > 2 ? total - 2 : 0, '-');
+  std::printf("%s\n", rule.c_str());
+  for (const auto& r : rows_) print_row(r);
+  std::fflush(stdout);
+}
+
+std::string Table::csv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) out += ",";
+      out += r[c];
+    }
+    out += "\n";
+  };
+  append_row(header_);
+  for (const auto& r : rows_) append_row(r);
+  return out;
+}
+
+}  // namespace windar::util

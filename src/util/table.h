@@ -1,0 +1,28 @@
+// Console table printer: the bench harnesses emit the paper's figure data as
+// aligned rows so "who wins, by what factor" is readable straight off the
+// terminal and trivially greppable/plottable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace windar::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Writes the table to stdout with a title line and column alignment.
+  void print(const std::string& title = "") const;
+
+  /// CSV form (for machine consumption / replotting).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace windar::util

@@ -1,0 +1,98 @@
+#include "windar/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace windar::ft {
+
+util::Bytes CheckpointImage::serialize() const {
+  util::ByteWriter w;
+  w.u64(ckpt_seq);
+  w.bytes(app);
+  w.bytes(proto);
+  w.u32_vec(last_send);
+  w.u32_vec(last_deliver);
+  w.u32(delivered_total);
+  w.bytes(log);
+  return w.take();
+}
+
+CheckpointImage CheckpointImage::deserialize(const util::Bytes& data) {
+  util::ByteReader r(data);
+  CheckpointImage img;
+  img.ckpt_seq = r.u64();
+  img.app = r.bytes();
+  img.proto = r.bytes();
+  img.last_send = r.u32_vec();
+  img.last_deliver = r.u32_vec();
+  img.delivered_total = r.u32();
+  img.log = r.bytes();
+  WINDAR_CHECK(r.exhausted()) << "trailing checkpoint bytes";
+  return img;
+}
+
+CheckpointStore::CheckpointStore(std::string spill_dir)
+    : spill_dir_(std::move(spill_dir)) {
+  if (!spill_dir_.empty()) {
+    std::filesystem::create_directories(spill_dir_);
+  }
+}
+
+void CheckpointStore::save(int rank, const CheckpointImage& image) {
+  util::Bytes data = image.serialize();
+  std::scoped_lock lock(mu_);
+  ++stats_.saves;
+  stats_.bytes_written += data.size();
+  if (!spill_dir_.empty()) {
+    const std::string path =
+        spill_dir_ + "/ckpt_rank" + std::to_string(rank) + ".bin";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    WINDAR_CHECK(out.good()) << "cannot write checkpoint " << path;
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    WINDAR_CHECK(out.good()) << "short checkpoint write " << path;
+  }
+  images_[rank] = std::move(data);
+}
+
+std::optional<CheckpointImage> CheckpointStore::load(int rank) const {
+  std::scoped_lock lock(mu_);
+  auto it = images_.find(rank);
+  if (it == images_.end()) return std::nullopt;
+  ++stats_.loads;
+  if (!spill_dir_.empty()) {
+    // Exercise the on-disk round trip: read the file back, not the cache.
+    const std::string path =
+        spill_dir_ + "/ckpt_rank" + std::to_string(rank) + ".bin";
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    WINDAR_CHECK(in.good()) << "cannot read checkpoint " << path;
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    util::Bytes data(size);
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(size));
+    WINDAR_CHECK(in.good()) << "short checkpoint read " << path;
+    return CheckpointImage::deserialize(data);
+  }
+  return CheckpointImage::deserialize(it->second);
+}
+
+bool CheckpointStore::has(int rank) const {
+  std::scoped_lock lock(mu_);
+  return images_.count(rank) > 0;
+}
+
+void CheckpointStore::clear() {
+  std::scoped_lock lock(mu_);
+  images_.clear();
+}
+
+CheckpointStoreStats CheckpointStore::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,67 @@
+// Checkpoint images and the stable store.
+//
+// An image is everything Algorithm 1 line 33 saves: the application state
+// blob, the protocol's dependency-tracking state, the per-pair send/deliver
+// counters, and the sender-based message log.  The store models stable
+// storage shared by the cluster (e.g. a parallel filesystem): it survives
+// any process failure.  Images can optionally be spilled to disk to exercise
+// a real serialization round-trip.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+struct CheckpointImage {
+  std::uint64_t ckpt_seq = 0;           // how many checkpoints this rank took
+  util::Bytes app;                      // application-provided state
+  util::Bytes proto;                    // LoggingProtocol::save output
+  std::vector<SeqNo> last_send;         // per-pair counters
+  std::vector<SeqNo> last_deliver;
+  SeqNo delivered_total = 0;            // current process state interval index
+  util::Bytes log;                      // serialized SenderLog
+
+  util::Bytes serialize() const;
+  static CheckpointImage deserialize(const util::Bytes& data);
+
+  std::size_t bytes() const {
+    return app.size() + proto.size() + log.size() +
+           (last_send.size() + last_deliver.size()) * sizeof(SeqNo) + 16;
+  }
+};
+
+struct CheckpointStoreStats {
+  std::uint64_t saves = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class CheckpointStore {
+ public:
+  /// In-memory store; if `spill_dir` is non-empty, images are round-tripped
+  /// through files under it (one file per rank, overwritten per checkpoint).
+  explicit CheckpointStore(std::string spill_dir = "");
+
+  void save(int rank, const CheckpointImage& image);
+  std::optional<CheckpointImage> load(int rank) const;
+  bool has(int rank) const;
+  void clear();
+
+  CheckpointStoreStats stats() const;
+
+ private:
+  std::string spill_dir_;
+  mutable std::mutex mu_;
+  std::unordered_map<int, util::Bytes> images_;  // serialized form
+  mutable CheckpointStoreStats stats_;
+};
+
+}  // namespace windar::ft

@@ -1,0 +1,69 @@
+// Message delivery determinants.
+//
+// A determinant fixes the outcome of one non-deterministic delivery event:
+// message (sender, send_index) was delivered by `receiver` as its
+// `deliver_seq`-th delivery overall.  The PWD baselines (TAG, TEL) must track
+// one determinant per delivery; the paper's point is that TDI replaces this
+// whole structure with a single integer vector.
+//
+// The paper counts a determinant as 4 identifiers (§III.A); Fig. 6 overhead
+// accounting uses kIdentsPerDeterminant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+inline constexpr std::uint32_t kIdentsPerDeterminant = 4;
+
+struct Determinant {
+  SeqNo sender = 0;
+  SeqNo receiver = 0;
+  SeqNo send_index = 0;   // per (sender -> receiver) pair index
+  SeqNo deliver_seq = 0;  // receiver-global delivery order
+
+  /// Unique message identity: (sender, receiver, send_index).  deliver_seq is
+  /// a function of the identity in any single execution.
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(sender) << 48) |
+           (static_cast<std::uint64_t>(receiver) << 32) | send_index;
+  }
+
+  bool operator==(const Determinant&) const = default;
+
+  void write(util::ByteWriter& w) const {
+    w.u32(sender);
+    w.u32(receiver);
+    w.u32(send_index);
+    w.u32(deliver_seq);
+  }
+
+  static Determinant read(util::ByteReader& r) {
+    Determinant d;
+    d.sender = r.u32();
+    d.receiver = r.u32();
+    d.send_index = r.u32();
+    d.deliver_seq = r.u32();
+    return d;
+  }
+};
+
+inline void write_determinants(util::ByteWriter& w,
+                               const std::vector<Determinant>& ds) {
+  w.u32(static_cast<std::uint32_t>(ds.size()));
+  for (const auto& d : ds) d.write(w);
+}
+
+inline std::vector<Determinant> read_determinants(util::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<Determinant> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(Determinant::read(r));
+  return out;
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,113 @@
+#include "windar/event_logger.h"
+
+#include "util/check.h"
+
+namespace windar::ft {
+
+EventLogger::EventLogger(net::Fabric& fabric, Params params)
+    : fabric_(fabric),
+      params_(params),
+      store_(static_cast<std::size_t>(params.ranks)),
+      seen_(static_cast<std::size_t>(params.ranks)) {
+  WINDAR_CHECK_GE(params_.endpoint, 0) << "logger needs an endpoint";
+  thread_ = std::thread([this] { serve(); });
+}
+
+EventLogger::~EventLogger() { stop(); }
+
+void EventLogger::stop() {
+  fabric_.endpoint(params_.endpoint).inbox().poison();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLogger::serve() {
+  auto& inbox = fabric_.endpoint(params_.endpoint).inbox();
+  while (auto p = inbox.pop()) {
+    handle(std::move(*p));
+  }
+}
+
+void EventLogger::handle(net::Packet&& p) {
+  const int owner = p.src;
+  WINDAR_CHECK(owner >= 0 && owner < params_.ranks) << "bad logger client";
+  switch (static_cast<Kind>(p.kind)) {
+    case Kind::kTelLog: {
+      // Stable-storage commit: serialize the whole batch behind one delay.
+      if (params_.storage_delay.count() > 0) {
+        std::this_thread::sleep_for(params_.storage_delay);
+      }
+      util::ByteReader r(p.payload);
+      const auto dets = read_determinants(r);
+      SeqNo watermark;
+      {
+        std::scoped_lock lock(mu_);
+        ++batches_;
+        auto& per_owner = store_[static_cast<std::size_t>(owner)];
+        auto& seen = seen_[static_cast<std::size_t>(owner)];
+        for (const auto& d : dets) {
+          WINDAR_CHECK_EQ(static_cast<int>(d.receiver), owner)
+              << "logger: rank logging a foreign determinant";
+          per_owner.emplace(d.deliver_seq, d);
+          seen.add(d.deliver_seq);
+        }
+        watermark = seen.watermark();
+      }
+      net::Packet ack;
+      ack.src = params_.endpoint;
+      ack.dst = owner;
+      ack.kind = wire(Kind::kTelAck);
+      ack.seq = watermark;
+      fabric_.send(std::move(ack));
+      break;
+    }
+    case Kind::kTelQuery: {
+      // An incarnation asks for every stored determinant about its own
+      // deliveries.
+      std::vector<Determinant> dets;
+      {
+        std::scoped_lock lock(mu_);
+        for (const auto& [seq, det] :
+             store_[static_cast<std::size_t>(owner)]) {
+          (void)seq;
+          dets.push_back(det);
+        }
+      }
+      net::Packet reply;
+      reply.src = params_.endpoint;
+      reply.dst = owner;
+      reply.kind = wire(Kind::kTelQueryReply);
+      util::ByteWriter w;
+      write_determinants(w, dets);
+      reply.payload = w.take();
+      fabric_.send(std::move(reply));
+      break;
+    }
+    case Kind::kCheckpointAdvance: {
+      // The owner checkpointed after `seq` deliveries; earlier determinants
+      // can never be replayed again.
+      std::scoped_lock lock(mu_);
+      auto& per_owner = store_[static_cast<std::size_t>(owner)];
+      while (!per_owner.empty() &&
+             per_owner.begin()->first <= static_cast<SeqNo>(p.seq)) {
+        per_owner.erase(per_owner.begin());
+      }
+      break;
+    }
+    default:
+      WINDAR_CHECK(false) << "logger got unexpected kind " << p.kind;
+  }
+}
+
+std::size_t EventLogger::stored_determinants() const {
+  std::scoped_lock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& per_owner : store_) total += per_owner.size();
+  return total;
+}
+
+std::uint64_t EventLogger::batches() const {
+  std::scoped_lock lock(mu_);
+  return batches_;
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,62 @@
+// TEL's stable-storage event logger.
+//
+// A dedicated node (extra fabric endpoint) that persists determinants and
+// acknowledges per-rank stability watermarks.  The storage delay per batch
+// models the latency of a stable-storage commit; while a commit is in
+// progress other ranks' batches queue behind it — the contention the paper's
+// related-work section attributes to logger-based schemes.
+//
+// The logger itself never fails (stable storage assumption in [5]).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.h"
+#include "windar/determinant.h"
+#include "windar/seqset.h"
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+class EventLogger {
+ public:
+  struct Params {
+    int endpoint = -1;   // this logger's fabric endpoint id
+    int ranks = 0;       // number of application ranks
+    std::chrono::microseconds storage_delay{5};
+  };
+
+  EventLogger(net::Fabric& fabric, Params params);
+  ~EventLogger();
+
+  EventLogger(const EventLogger&) = delete;
+  EventLogger& operator=(const EventLogger&) = delete;
+
+  /// Stops the service thread (idempotent; also called by the destructor).
+  void stop();
+
+  std::size_t stored_determinants() const;
+  std::uint64_t batches() const;
+
+ private:
+  void serve();
+  void handle(net::Packet&& p);
+
+  net::Fabric& fabric_;
+  Params params_;
+
+  mutable std::mutex mu_;
+  // Per-rank stored determinants (deliver_seq -> det) and contiguous
+  // stability tracking for the ack watermark.
+  std::vector<std::map<SeqNo, Determinant>> store_;
+  std::vector<SeqSet> seen_;
+  std::uint64_t batches_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace windar::ft

@@ -1,0 +1,61 @@
+// Overhead accounting for the recovery layer.
+//
+// These counters feed the paper's evaluation directly:
+//   Fig. 6  <- piggyback_idents / app_sent      (identifiers per message)
+//   Fig. 7  <- (track_send_ns + track_deliver_ns) per message
+//   Fig. 8  <- job wall time (runtime-level), send_block_ns explains the gap
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace windar::ft {
+
+struct Metrics {
+  // message counts
+  std::uint64_t app_sent = 0;          // application messages sent (incl. suppressed)
+  std::uint64_t app_transmitted = 0;   // actually put on the wire
+  std::uint64_t app_delivered = 0;
+  std::uint64_t control_msgs = 0;      // acks/advances/rollbacks/responses/TEL
+  std::uint64_t resent_msgs = 0;       // log-driven retransmissions
+  std::uint64_t dup_dropped = 0;
+  std::uint64_t suppressed_sends = 0;  // skipped during rolling forward
+
+  // piggyback overhead (per outgoing app message)
+  std::uint64_t piggyback_idents = 0;
+  std::uint64_t piggyback_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+
+  // tracking time: CPU spent inside protocol code on the application thread
+  std::int64_t track_send_ns = 0;
+  std::int64_t track_deliver_ns = 0;
+
+  // blocking behaviour
+  std::int64_t send_block_ns = 0;  // app thread stalled in send (ack waits)
+
+  // logging / checkpoint plane
+  std::uint64_t log_peak_bytes = 0;
+  std::uint64_t log_peak_entries = 0;
+  std::uint64_t log_released_entries = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t recoveries = 0;
+
+  void merge(const Metrics& o);
+
+  double avg_piggyback_idents() const {
+    return app_sent ? static_cast<double>(piggyback_idents) /
+                          static_cast<double>(app_sent)
+                    : 0.0;
+  }
+  /// Average protocol tracking time per application message, microseconds.
+  double avg_track_us() const {
+    const std::uint64_t events = app_sent + app_delivered;
+    return events ? static_cast<double>(track_send_ns + track_deliver_ns) /
+                        1e3 / static_cast<double>(events)
+                  : 0.0;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace windar::ft

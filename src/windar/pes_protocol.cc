@@ -1,0 +1,93 @@
+#include "windar/pes_protocol.h"
+
+#include "util/check.h"
+
+namespace windar::ft {
+
+PesProtocol::PesProtocol(int rank, int n) : LoggingProtocol(rank, n) {}
+
+Piggyback PesProtocol::on_send(int dst, SeqNo send_index) {
+  (void)dst;
+  (void)send_index;
+  // Nothing travels: by the time anyone could causally depend on one of our
+  // deliveries, its determinant is already stable.
+  return Piggyback{{}, 0};
+}
+
+void PesProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
+                             std::span<const std::uint8_t> meta) {
+  (void)meta;
+  pending_.emplace(deliver_seq,
+                   Determinant{static_cast<SeqNo>(src),
+                               static_cast<SeqNo>(rank_), send_index,
+                               deliver_seq});
+  replay_.on_deliver(deliver_seq);
+}
+
+bool PesProtocol::deliverable(const QueuedMsg& m,
+                              SeqNo delivered_total) const {
+  return replay_.deliverable(m.src, m.send_index, delivered_total);
+}
+
+std::vector<Determinant> PesProtocol::take_unlogged(std::size_t max_batch) {
+  std::vector<Determinant> out;
+  for (auto it = pending_.upper_bound(flushed_upto_);
+       it != pending_.end() && out.size() < max_batch; ++it) {
+    out.push_back(it->second);
+  }
+  if (!out.empty()) flushed_upto_ = out.back().deliver_seq;
+  return out;
+}
+
+void PesProtocol::on_logger_ack(SeqNo watermark) {
+  if (watermark > stable_wm_) {
+    stable_wm_ = watermark;
+    while (!pending_.empty() && pending_.begin()->first <= stable_wm_) {
+      pending_.erase(pending_.begin());
+    }
+  }
+}
+
+void PesProtocol::begin_replay(SeqNo delivered_total) {
+  replay_.begin(delivered_total);
+}
+
+void PesProtocol::add_replay_determinants(std::span<const Determinant> ds) {
+  for (const auto& d : ds) replay_.add(d, rank_);
+}
+
+std::vector<Determinant> PesProtocol::determinants_for(int peer) const {
+  // Pessimistic logging keeps no foreign determinants; survivors contribute
+  // nothing and recovery relies on the logger (which, by construction,
+  // holds every determinant the failed process could have exposed).
+  (void)peer;
+  return {};
+}
+
+void PesProtocol::on_peer_checkpoint(int peer, SeqNo peer_delivered_total) {
+  (void)peer;
+  (void)peer_delivered_total;
+}
+
+void PesProtocol::save(util::ByteWriter& w) const {
+  w.u32(stable_wm_);
+  w.u32(flushed_upto_);
+  w.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [seq, det] : pending_) {
+    (void)seq;
+    det.write(w);
+  }
+}
+
+void PesProtocol::restore(util::ByteReader& r) {
+  stable_wm_ = r.u32();
+  flushed_upto_ = r.u32();
+  pending_.clear();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Determinant d = Determinant::read(r);
+    pending_.emplace(d.deliver_seq, d);
+  }
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,62 @@
+// PES — pessimistic (synchronous) receiver-side event logging baseline.
+//
+// The classic alternative the rollback-recovery survey [4] contrasts causal
+// logging against: every delivery determinant is committed to stable storage
+// *before* the delivery is allowed to complete, so no process ever depends
+// on an unlogged non-deterministic event.  Consequently nothing needs to be
+// piggybacked at all — the cost moves from bandwidth (causal piggyback) to
+// latency (a stable-storage round trip on every delivery).
+//
+// Implementation: reuses TEL's determinant plumbing and event logger, but
+//   * piggybacks nothing (kIdentsPerMessage == 0),
+//   * reports pessimistic() so the Process holds each delivery until the
+//     logger's stability watermark covers it,
+//   * recovers like TEL (logger query; survivors hold no useful extras).
+#pragma once
+
+#include "windar/tel_protocol.h"
+
+namespace windar::ft {
+
+class PesProtocol final : public LoggingProtocol {
+ public:
+  PesProtocol(int rank, int n);
+
+  ProtocolKind kind() const override { return ProtocolKind::kPes; }
+
+  Piggyback on_send(int dst, SeqNo send_index) override;
+  void on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
+                  std::span<const std::uint8_t> meta) override;
+  bool deliverable(const QueuedMsg& m, SeqNo delivered_total) const override;
+
+  void save(util::ByteWriter& w) const override;
+  void restore(util::ByteReader& r) override;
+
+  bool needs_determinant_gather() const override { return true; }
+  bool uses_event_logger() const override { return true; }
+  bool pessimistic() const override { return true; }
+  SeqNo stable_watermark() const { return stable_wm_; }
+  bool stable_upto(SeqNo deliver_seq) const override {
+    return stable_wm_ >= deliver_seq;
+  }
+
+  void begin_replay(SeqNo delivered_total) override;
+  void add_replay_determinants(std::span<const Determinant> ds) override;
+  std::vector<Determinant> determinants_for(int peer) const override;
+  void on_peer_checkpoint(int peer, SeqNo peer_delivered_total) override;
+
+  std::vector<Determinant> take_unlogged(std::size_t max_batch) override;
+  void on_logger_ack(SeqNo watermark) override;
+
+  std::size_t tracked_entries() const override { return pending_.size(); }
+  std::string debug_string() const override { return replay_.debug_string(); }
+
+ private:
+  // Own determinants not yet confirmed stable (deliver_seq order).
+  std::map<SeqNo, Determinant> pending_;
+  SeqNo stable_wm_ = 0;
+  SeqNo flushed_upto_ = 0;
+  PwdReplayGate replay_;
+};
+
+}  // namespace windar::ft

@@ -1,0 +1,30 @@
+#include "windar/protocol.h"
+
+#include "util/check.h"
+#include "windar/pes_protocol.h"
+#include "windar/tag_protocol.h"
+#include "windar/tdi_protocol.h"
+#include "windar/tel_protocol.h"
+
+namespace windar::ft {
+
+std::unique_ptr<LoggingProtocol> make_protocol(ProtocolKind kind, int rank,
+                                               int n) {
+  switch (kind) {
+    case ProtocolKind::kTdi:
+      return std::make_unique<TdiProtocol>(rank, n);
+    case ProtocolKind::kTdiSparse:
+      return std::make_unique<TdiProtocol>(rank, n,
+                                           TdiProtocol::Encoding::kSparse);
+    case ProtocolKind::kTag:
+      return std::make_unique<TagProtocol>(rank, n);
+    case ProtocolKind::kTel:
+      return std::make_unique<TelProtocol>(rank, n);
+    case ProtocolKind::kPes:
+      return std::make_unique<PesProtocol>(rank, n);
+  }
+  WINDAR_CHECK(false) << "unknown protocol kind";
+  return nullptr;
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,160 @@
+// Causal message logging protocol interface.
+//
+// A LoggingProtocol owns the *dependency tracking* half of rollback
+// recovery: what metadata to piggyback on each outgoing message, how to merge
+// metadata on delivery, and when a queued message is allowed to be delivered
+// during rolling forward.  Everything else — per-pair counters, sender log,
+// duplicate suppression, ROLLBACK/RESPONSE choreography — is protocol-
+// independent and lives in windar::ft::Process.
+//
+// Three implementations:
+//   TdiProtocol  — the paper's contribution (dependency-interval vector)
+//   TagProtocol  — antecedence-graph baseline (strict PWD replay)
+//   TelProtocol  — event-logger baseline (strict PWD replay, async stability)
+//
+// All methods are invoked with the owning Process's lock held; protocols
+// need no internal synchronization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+#include "windar/determinant.h"
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+/// Metadata blob attached to one outgoing message, plus its size in
+/// "identifiers" (integers) for the paper's Fig. 6 accounting.
+struct Piggyback {
+  util::Bytes blob;
+  std::uint32_t idents = 0;
+};
+
+/// A message parked in the receiving queue awaiting delivery.
+struct QueuedMsg {
+  int src = -1;
+  std::int32_t tag = 0;
+  SeqNo send_index = 0;
+  bool eager_acked = false;
+  util::Bytes meta;
+  util::Bytes payload;
+};
+
+class LoggingProtocol {
+ public:
+  LoggingProtocol(int rank, int n) : rank_(rank), n_(n) {}
+  virtual ~LoggingProtocol() = default;
+
+  LoggingProtocol(const LoggingProtocol&) = delete;
+  LoggingProtocol& operator=(const LoggingProtocol&) = delete;
+
+  virtual ProtocolKind kind() const = 0;
+
+  // ---- normal execution ----
+
+  /// Builds the metadata to piggyback on message (rank_ -> dst, send_index).
+  virtual Piggyback on_send(int dst, SeqNo send_index) = 0;
+
+  /// Merges the piggybacked metadata of a message being delivered.
+  /// `deliver_seq` is the receiver-global delivery order (1-based) the
+  /// Process just assigned to it.
+  virtual void on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
+                          std::span<const std::uint8_t> meta) = 0;
+
+  /// May `m` be delivered now, given `delivered_total` messages already
+  /// delivered?  Per-pair FIFO is already enforced by the caller; this gate
+  /// expresses only the protocol's ordering constraint (the paper's
+  /// Algorithm 1 line 17, or PWD replay order for the baselines).
+  virtual bool deliverable(const QueuedMsg& m, SeqNo delivered_total) const = 0;
+
+  // ---- checkpoint / restore ----
+
+  virtual void save(util::ByteWriter& w) const = 0;
+  virtual void restore(util::ByteReader& r) = 0;
+
+  // ---- recovery ----
+
+  /// True if a recovering process must gather determinants from survivors
+  /// (and the event logger) before delivering anything.  TDI's gate is
+  /// self-contained in the piggyback — the "proactive perception of delivery
+  /// order" the paper credits with lower rolling-forward overhead.
+  virtual bool needs_determinant_gather() const { return false; }
+  virtual bool uses_event_logger() const { return false; }
+
+  /// Pessimistic protocols require each delivery's determinant to be stable
+  /// before the message is handed to the application; the Process holds the
+  /// delivery until stable_upto(deliver_seq) turns true.
+  virtual bool pessimistic() const { return false; }
+  virtual bool stable_upto(SeqNo deliver_seq) const {
+    (void)deliver_seq;
+    return true;
+  }
+
+  /// Called on the incarnation after restore, before rolling forward.
+  virtual void begin_replay(SeqNo delivered_total) { (void)delivered_total; }
+
+  /// Determinants arriving via RESPONSE / TelQueryReply during gather.
+  virtual void add_replay_determinants(std::span<const Determinant> ds) {
+    (void)ds;
+  }
+
+  /// Survivor side: determinants this process holds that describe `peer`'s
+  /// past deliveries (sent back on RESPONSE).
+  virtual std::vector<Determinant> determinants_for(int peer) const {
+    (void)peer;
+    return {};
+  }
+
+  /// Metadata GC: `peer` checkpointed after delivering `peer_delivered_total`
+  /// messages; determinants about those deliveries may be discarded.
+  virtual void on_peer_checkpoint(int peer, SeqNo peer_delivered_total) {
+    (void)peer;
+    (void)peer_delivered_total;
+  }
+
+  // ---- TEL async stability plane (no-ops elsewhere) ----
+
+  /// Drains up to `max_batch` determinants that still need to reach the
+  /// event logger.
+  virtual std::vector<Determinant> take_unlogged(std::size_t max_batch) {
+    (void)max_batch;
+    return {};
+  }
+
+  /// Event logger acknowledged stability of this rank's determinants up to
+  /// `watermark` (deliver_seq order).
+  virtual void on_logger_ack(SeqNo watermark) { (void)watermark; }
+
+  /// The piggybacked dependency of `m` on its *receiver* (how many local
+  /// deliveries it requires), if the protocol expresses one — used by the
+  /// trace validator's no-orphan check.  0 means "no constraint declared".
+  virtual SeqNo depend_on_receiver(const QueuedMsg& m) const {
+    (void)m;
+    return 0;
+  }
+
+  // ---- introspection ----
+
+  /// Number of tracked metadata entries (vector elements for TDI,
+  /// determinants for TAG/TEL); tests and the log-memory ablation use this.
+  virtual std::size_t tracked_entries() const = 0;
+
+  /// Diagnostic snapshot for the runtime's stall watchdog.
+  virtual std::string debug_string() const { return ""; }
+
+  int rank() const { return rank_; }
+  int size() const { return n_; }
+
+ protected:
+  int rank_;
+  int n_;
+};
+
+std::unique_ptr<LoggingProtocol> make_protocol(ProtocolKind kind, int rank,
+                                               int n);
+
+}  // namespace windar::ft

@@ -1,0 +1,127 @@
+// Strict-PWD replay gate shared by the TAG, TEL and PES baselines.
+//
+// Under the piecewise-deterministic execution model, a recovering process
+// must re-deliver logged messages in exactly the delivery order recorded in
+// its determinants.  The gate holds the recorded order table (built from
+// determinants gathered from survivors and/or the event logger) and admits a
+// message only when it is the exact next delivery.
+//
+// Gap handling: with multiple simultaneous failures the gathered set can
+// contain determinant k+1 but not k (e.g. the logger stored an out-of-order
+// batch whose predecessor died in flight with both its carriers).  The gate
+// honours only the *contiguous prefix* of the recorded history.  This is
+// sound because determinant knowledge is prefix-closed at every single
+// holder: piggybacks carry the owner's whole unstable (contiguous) suffix
+// and the logger acknowledges stability contiguously, so any surviving
+// process that causally depends on delivery k+1 necessarily also held
+// determinant k.  A gap therefore proves that no survivor depends on any
+// delivery at or beyond it, and those messages may be replayed in arrival
+// order — the same argument that frees entirely unrecorded suffix events.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "windar/determinant.h"
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+class PwdReplayGate {
+ public:
+  /// Arms the gate on an incarnation that restored `delivered_total`.
+  void begin(SeqNo delivered_total) {
+    active_ = true;
+    base_ = delivered_total;
+    table_.clear();
+    by_seq_.clear();
+    limit_dirty_ = true;
+  }
+
+  /// Records a determinant about our own past delivery.
+  void add(const Determinant& d, int my_rank) {
+    if (!active_) return;
+    if (static_cast<int>(d.receiver) != my_rank) return;
+    if (d.deliver_seq <= base_) return;  // already covered by the checkpoint
+    auto [it, inserted] =
+        table_.emplace(pair_key(d.sender, d.send_index), d.deliver_seq);
+    (void)it;
+    if (inserted) {
+      by_seq_.emplace(d.deliver_seq, pair_key(d.sender, d.send_index));
+      limit_dirty_ = true;
+    }
+  }
+
+  /// May message (src, send_index) be delivered as delivery number
+  /// `delivered_total` + 1?
+  bool deliverable(int src, SeqNo send_index, SeqNo delivered_total) const {
+    if (!active_) return true;
+    const SeqNo limit = contiguous_end();
+    auto it = table_.find(pair_key(static_cast<SeqNo>(src), send_index));
+    if (it != table_.end() && it->second <= limit) {
+      return it->second == delivered_total + 1;
+    }
+    // Unrecorded (or beyond a determinant gap): free order, but only after
+    // the whole recorded prefix has been replayed.
+    return delivered_total >= limit;
+  }
+
+  /// Call after each delivery; disarms the gate once the recorded prefix is
+  /// fully replayed.
+  void on_deliver(SeqNo delivered_total) {
+    if (active_ && delivered_total >= contiguous_end()) {
+      active_ = false;
+      table_.clear();
+      by_seq_.clear();
+    }
+  }
+
+  bool active() const { return active_; }
+  std::size_t pending() const { return table_.size(); }
+
+  /// Largest m such that every delivery in (base, m] has a determinant.
+  SeqNo contiguous_end() const {
+    if (!limit_dirty_) return limit_;
+    SeqNo end = base_;
+    for (const auto& [seq, key] : by_seq_) {
+      (void)key;
+      if (seq != end + 1) break;
+      end = seq;
+    }
+    limit_ = end;
+    limit_dirty_ = false;
+    return limit_;
+  }
+
+  /// Diagnostic rendering of the recorded order table.
+  std::string debug_string() const {
+    if (!active_) return "gate=off";
+    std::string out = "gate=on base=" + std::to_string(base_) +
+                      " cend=" + std::to_string(contiguous_end()) + " [";
+    for (const auto& [seq, key] : by_seq_) {
+      out += " " + std::to_string(seq) + ":(" +
+             std::to_string(key >> 32) + "#" +
+             std::to_string(key & 0xFFFFFFFF) + ")";
+      if (out.size() > 400) {
+        out += " ...";
+        break;
+      }
+    }
+    return out + " ]";
+  }
+
+ private:
+  static std::uint64_t pair_key(SeqNo src, SeqNo send_index) {
+    return (static_cast<std::uint64_t>(src) << 32) | send_index;
+  }
+
+  bool active_ = false;
+  SeqNo base_ = 0;
+  std::unordered_map<std::uint64_t, SeqNo> table_;  // message -> deliver_seq
+  std::map<SeqNo, std::uint64_t> by_seq_;           // sorted for gap scan
+  mutable SeqNo limit_ = 0;
+  mutable bool limit_dirty_ = true;
+};
+
+}  // namespace windar::ft

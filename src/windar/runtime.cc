@@ -1,0 +1,248 @@
+#include "windar/runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+#include "util/clock.h"
+#include "windar/event_logger.h"
+
+namespace windar::ft {
+
+namespace {
+
+struct Slot {
+  std::mutex mu;                      // guards proc + fn_done transitions
+  std::shared_ptr<Process> proc;
+  bool fn_done = false;
+  Metrics acc;                        // merged across incarnations
+  std::mutex acc_mu;
+  std::atomic<const char*> phase{"init"};  // stall-watchdog breadcrumb
+};
+
+}  // namespace
+
+JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
+  WINDAR_CHECK_GT(config.n, 0) << "need at least one rank";
+  const bool uses_logger = config.protocol == ProtocolKind::kTel ||
+                           config.protocol == ProtocolKind::kPes;
+  const int endpoints = config.n + (uses_logger ? 1 : 0);
+
+  net::Fabric fabric(endpoints, config.latency, config.seed);
+  CheckpointStore store(config.checkpoint_spill_dir);
+  std::unique_ptr<EventLogger> logger;
+  if (uses_logger) {
+    EventLogger::Params lp;
+    lp.endpoint = config.n;
+    lp.ranks = config.n;
+    lp.storage_delay = config.logger_storage_delay;
+    logger = std::make_unique<EventLogger>(fabric, lp);
+  }
+
+  std::vector<Slot> slots(static_cast<std::size_t>(config.n));
+  std::atomic<int> done_count{0};
+  std::atomic<bool> all_done{false};
+  std::atomic<bool> job_failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto params_for = [&](int rank, std::uint32_t incarnation) {
+    ProcessParams p;
+    p.rank = rank;
+    p.n = config.n;
+    p.protocol = config.protocol;
+    p.mode = config.mode;
+    p.eager_threshold = config.eager_threshold;
+    p.logger_endpoint = uses_logger ? config.n : -1;
+    p.trace = config.trace;
+    p.incarnation = incarnation;
+    return p;
+  };
+
+  auto record_error = [&](std::exception_ptr e) {
+    {
+      std::scoped_lock lock(error_mu);
+      if (!first_error) first_error = e;
+    }
+    job_failed.store(true, std::memory_order_release);
+    all_done.store(true, std::memory_order_release);
+    fabric.shutdown();  // unblocks every rank; they unwind via JobAborted
+  };
+
+  auto supervisor = [&](int rank) {
+    Slot& slot = slots[static_cast<std::size_t>(rank)];
+    bool recovering = false;
+    std::uint32_t incarnation = 0;
+    while (true) {
+      std::shared_ptr<Process> proc;
+      slot.phase = "ctor";
+      try {
+        proc = std::make_shared<Process>(
+            fabric, store, params_for(rank, incarnation), recovering);
+      } catch (...) {
+        record_error(std::current_exception());
+        return;
+      }
+      {
+        std::scoped_lock lock(slot.mu);
+        slot.proc = proc;
+      }
+      try {
+        slot.phase = "fn";
+        Ctx ctx(*proc);
+        fn(ctx);
+        {
+          // fn_done flips under slot.mu so the injector's check-and-kill is
+          // atomic against completion: a finished rank is never killed.
+          std::scoped_lock lock(slot.mu);
+          slot.fn_done = true;
+        }
+        if (done_count.fetch_add(1) + 1 == config.n) {
+          all_done.store(true, std::memory_order_release);
+        }
+        slot.phase = "parked";
+        proc->park(all_done);
+        {
+          std::scoped_lock lock(slot.acc_mu);
+          slot.acc.merge(proc->metrics());
+        }
+        {
+          std::scoped_lock lock(slot.mu);
+          slot.proc.reset();
+        }
+        return;
+      } catch (const Killed&) {
+        slot.phase = "killed-metrics";
+        {
+          std::scoped_lock lock(slot.acc_mu);
+          slot.acc.merge(proc->metrics());
+        }
+        {
+          std::scoped_lock lock(slot.mu);
+          slot.proc.reset();
+        }
+        slot.phase = "killed-dtor";
+        proc.reset();  // joins this incarnation's helper threads
+        slot.phase = "killed-sleep";
+        if (job_failed.load(std::memory_order_acquire)) return;
+        // Failure detection + spare-node takeover latency.
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config.restart_delay_ms));
+        recovering = true;
+        ++incarnation;
+        continue;
+      } catch (const JobAborted&) {
+        {
+          std::scoped_lock lock(slot.mu);
+          slot.proc.reset();
+        }
+        return;
+      } catch (...) {
+        record_error(std::current_exception());
+        {
+          std::scoped_lock lock(slot.mu);
+          slot.proc.reset();
+        }
+        return;
+      }
+    }
+  };
+
+  const double t0 = util::now_ms();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.n) + 1);
+  for (int r = 0; r < config.n; ++r) {
+    threads.emplace_back(supervisor, r);
+  }
+
+  // Stall watchdog (diagnostics): with WINDAR_STALL_DUMP_MS=<n> set, dump
+  // every rank's recovery/queue state to stderr if the job runs longer than
+  // n ms, then every n ms after.
+  std::thread watchdog;
+  std::atomic<bool> watchdog_stop{false};
+  if (const char* env = std::getenv("WINDAR_STALL_DUMP_MS")) {
+    const double period = std::atof(env);
+    if (period > 0) {
+      watchdog = std::thread([&, period] {
+        double next = period;
+        while (!watchdog_stop.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          if (util::now_ms() - t0 < next) continue;
+          next += period;
+          std::fprintf(stderr, "[windar stall dump @%.0fms]\n",
+                       util::now_ms() - t0);
+          for (auto& slot : slots) {
+            std::scoped_lock lock(slot.mu);
+            if (slot.proc) {
+              std::fprintf(stderr, "  %s\n", slot.proc->debug_state().c_str());
+            } else {
+              std::fprintf(stderr, "  (rank slot empty, fn_done=%d, phase=%s)\n",
+                           slot.fn_done ? 1 : 0, slot.phase.load());
+            }
+          }
+        }
+      });
+    }
+  }
+
+  // Fault injector: walks the (time-sorted) schedule on its own thread.
+  std::thread injector([&] {
+    auto events = config.faults;
+    std::sort(events.begin(), events.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                return a.at_ms < b.at_ms;
+              });
+    for (const FaultEvent& ev : events) {
+      WINDAR_CHECK(ev.rank >= 0 && ev.rank < config.n)
+          << "fault event for bad rank " << ev.rank;
+      while (util::now_ms() - t0 < ev.at_ms) {
+        if (all_done.load(std::memory_order_acquire)) return;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      Slot& slot = slots[static_cast<std::size_t>(ev.rank)];
+      std::scoped_lock lock(slot.mu);
+      if (slot.fn_done || !slot.proc) continue;  // too late; nothing to kill
+      // Mark the process dead BEFORE poisoning its endpoint: a thread that
+      // wakes on the poisoned inbox must see killed_ == true, or it will
+      // misread the fault as job teardown (JobAborted) and skip recovery.
+      slot.proc->poison();
+      fabric.kill(ev.rank);
+    }
+  });
+
+  for (auto& t : threads) t.join();
+  all_done.store(true, std::memory_order_release);
+  injector.join();
+  watchdog_stop.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+  const double t1 = util::now_ms();
+
+  JobResult result;
+  result.wall_ms = t1 - t0;
+  if (logger) {
+    result.logger_batches = logger->batches();
+    result.logger_determinants = logger->stored_determinants();
+    logger->stop();
+  }
+  fabric.shutdown();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.per_rank.reserve(slots.size());
+  for (auto& slot : slots) {
+    std::scoped_lock lock(slot.acc_mu);
+    result.per_rank.push_back(slot.acc);
+    result.total.merge(slot.acc);
+  }
+  result.fabric = fabric.stats();
+  result.checkpoints = store.stats();
+  return result;
+}
+
+}  // namespace windar::ft

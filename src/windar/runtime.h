@@ -1,0 +1,110 @@
+// Fault-tolerant job runtime.
+//
+// run_job spawns one supervisor thread per rank.  The supervisor constructs
+// the rank's Process (fresh, or recovering from the last checkpoint), runs
+// the application function, and — when the fault injector poisons the rank —
+// catches Killed, waits the restart delay (a spare node taking over), and
+// relaunches an incarnation.  Ranks that finish park their Process to keep
+// serving ROLLBACK/RESPONSE traffic until every rank is done, so a late
+// recovery can still pull logged messages from completed peers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mp/comm.h"
+#include "net/latency.h"
+#include "windar/checkpoint.h"
+#include "windar/metrics.h"
+#include "windar/process.h"
+#include "windar/trace.h"
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+/// Kill `rank` this many milliseconds after job start.  Events on the same
+/// rank repeat (the incarnation is killed again); events at the same time on
+/// different ranks model simultaneous failures (paper §III.D, Fig. 2).
+struct FaultEvent {
+  int rank = 0;
+  double at_ms = 0;
+};
+
+struct JobConfig {
+  int n = 4;
+  ProtocolKind protocol = ProtocolKind::kTdi;
+  SendMode mode = SendMode::kNonBlocking;
+  net::LatencyModel latency{};
+  std::uint64_t seed = 1;
+  std::vector<FaultEvent> faults;
+  double restart_delay_ms = 10;  // failure detection + spare-node takeover
+  std::size_t eager_threshold = 8 * 1024;
+  std::chrono::microseconds logger_storage_delay{5};
+  std::string checkpoint_spill_dir;  // empty: in-memory stable store
+  TraceSink* trace = nullptr;        // optional causal-event recorder
+};
+
+struct JobResult {
+  double wall_ms = 0;
+  Metrics total;                   // merged over ranks and incarnations
+  std::vector<Metrics> per_rank;   // merged over incarnations
+  net::FabricStats fabric;
+  CheckpointStoreStats checkpoints;
+  std::uint64_t logger_batches = 0;      // TEL only
+  std::uint64_t logger_determinants = 0; // TEL only (still stored at end)
+};
+
+/// The application's handle: an mp::Comm (so collectives and the NPB
+/// skeletons run unchanged) plus the checkpoint/restore surface.
+class Ctx final : public mp::Comm {
+ public:
+  explicit Ctx(Process& p) : p_(p) {}
+
+  int rank() const override { return p_.rank(); }
+  int size() const override { return p_.size(); }
+  void send(int dst, int tag, std::span<const std::uint8_t> payload) override {
+    p_.send(dst, tag, payload);
+  }
+  mp::Message recv(int src = mp::kAnySource, int tag = mp::kAnyTag) override {
+    return p_.recv(src, tag);
+  }
+  bool probe(int src = mp::kAnySource, int tag = mp::kAnyTag) override {
+    return p_.probe(src, tag);
+  }
+
+  /// Takes an independent checkpoint of `app_state` plus the recovery
+  /// layer's own state.
+  ///
+  /// CONSISTENCY CONTRACT: `app_state` must let the application resume from
+  /// exactly this logical point (e.g. the loop indices).  The recovery
+  /// layer's counters are snapshotted at the same instant; an application
+  /// that checkpoints here but restarts its loop from zero will re-send
+  /// with mismatched indices and stall.  An empty blob is only safe for
+  /// applications that never restore (fault-free runs).
+  void checkpoint(std::span<const std::uint8_t> app_state) {
+    p_.checkpoint(app_state);
+  }
+
+  /// Application state restored from the last checkpoint if this execution
+  /// is an incarnation; nullopt on a fresh start (including
+  /// restart-from-scratch after a failure before the first checkpoint).
+  const std::optional<util::Bytes>& restored() const {
+    return p_.restored_app_state();
+  }
+
+  Process& process() { return p_; }
+
+ private:
+  Process& p_;
+};
+
+using FtRankFn = std::function<void(Ctx&)>;
+
+/// Runs the job to completion (all ranks' functions returned, every injected
+/// fault recovered).  Rethrows the first application exception, if any.
+JobResult run_job(const JobConfig& config, const FtRankFn& fn);
+
+}  // namespace windar::ft

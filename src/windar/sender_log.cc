@@ -1,0 +1,66 @@
+#include "windar/sender_log.h"
+
+#include "util/check.h"
+
+namespace windar::ft {
+
+void SenderLog::append(int dst, LogEntry entry) {
+  auto& q = per_dst_[static_cast<std::size_t>(dst)];
+  WINDAR_CHECK(q.empty() || q.back().send_index < entry.send_index)
+      << "sender log indices must increase (dst=" << dst << ")";
+  bytes_ += entry.bytes();
+  ++entries_;
+  q.push_back(std::move(entry));
+}
+
+std::size_t SenderLog::release_upto(int dst, SeqNo upto) {
+  auto& q = per_dst_[static_cast<std::size_t>(dst)];
+  std::size_t released = 0;
+  while (!q.empty() && q.front().send_index <= upto) {
+    bytes_ -= q.front().bytes();
+    --entries_;
+    ++released;
+    q.pop_front();
+  }
+  return released;
+}
+
+void SenderLog::save(util::ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(per_dst_.size()));
+  for (const auto& q : per_dst_) {
+    w.u32(static_cast<std::uint32_t>(q.size()));
+    for (const LogEntry& e : q) {
+      w.u32(e.send_index);
+      w.i32(e.tag);
+      w.bytes(e.meta);
+      w.bytes(e.payload);
+    }
+  }
+}
+
+void SenderLog::restore(util::ByteReader& r) {
+  clear();
+  const std::uint32_t n = r.u32();
+  per_dst_.assign(n, {});
+  for (std::uint32_t d = 0; d < n; ++d) {
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      LogEntry e;
+      e.send_index = r.u32();
+      e.tag = r.i32();
+      e.meta = r.bytes();
+      e.payload = r.bytes();
+      bytes_ += e.bytes();
+      ++entries_;
+      per_dst_[d].push_back(std::move(e));
+    }
+  }
+}
+
+void SenderLog::clear() {
+  for (auto& q : per_dst_) q.clear();
+  entries_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,68 @@
+// Sender-based message log (paper §III.C.1).
+//
+// Every application message is retained in its sender's volatile memory,
+// together with the protocol metadata that was piggybacked on it, so that it
+// can be retransmitted verbatim when the receiver rolls back ("every resent
+// message should be piggybacked with the logged vector depend_interval").
+//
+// Entries are released when the receiver checkpoints past them
+// (CHECKPOINT_ADVANCE, Algorithm 1 line 39), and the whole log is saved as
+// part of the sender's own checkpoint (line 33) so an incarnation can still
+// serve peers' rollbacks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/bytes.h"
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+struct LogEntry {
+  SeqNo send_index = 0;  // per (me -> dst) pair
+  std::int32_t tag = 0;
+  util::Bytes meta;      // piggyback blob captured at original send
+  util::Bytes payload;
+
+  std::size_t bytes() const { return 16 + meta.size() + payload.size(); }
+};
+
+class SenderLog {
+ public:
+  explicit SenderLog(int n) : per_dst_(static_cast<std::size_t>(n)) {}
+
+  /// Appends an entry for `dst`; send_index values per destination must be
+  /// strictly increasing (they are per-pair counters).
+  void append(int dst, LogEntry entry);
+
+  /// Releases every entry for `dst` with send_index <= upto.  Returns how
+  /// many entries were dropped.
+  std::size_t release_upto(int dst, SeqNo upto);
+
+  /// Visits entries for `dst` with send_index > from, ascending.
+  template <typename F>
+  void for_each_from(int dst, SeqNo from, F&& f) const {
+    for (const LogEntry& e : per_dst_[static_cast<std::size_t>(dst)]) {
+      if (e.send_index > from) f(e);
+    }
+  }
+
+  std::size_t entries() const { return entries_; }
+  std::size_t bytes() const { return bytes_; }
+  std::size_t entries_for(int dst) const {
+    return per_dst_[static_cast<std::size_t>(dst)].size();
+  }
+
+  void save(util::ByteWriter& w) const;
+  void restore(util::ByteReader& r);
+  void clear();
+
+ private:
+  std::vector<std::deque<LogEntry>> per_dst_;  // ascending send_index
+  std::size_t entries_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace windar::ft

@@ -1,0 +1,52 @@
+// Compact set of sequence numbers with a contiguous low watermark.
+//
+// Used for acknowledgement tracking (which send_index values a receiver has
+// accepted) and by the event logger's stability watermark: membership is
+// "idx <= watermark or in the sparse overflow".  The overflow stays small
+// because sequences are near-contiguous; compaction folds it into the
+// watermark whenever possible.
+#pragma once
+
+#include <set>
+
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+class SeqSet {
+ public:
+  /// Inserts idx; folds contiguous runs into the watermark.
+  void add(SeqNo idx) {
+    if (idx <= watermark_) return;
+    if (idx == watermark_ + 1) {
+      ++watermark_;
+      auto it = sparse_.begin();
+      while (it != sparse_.end() && *it == watermark_ + 1) {
+        ++watermark_;
+        it = sparse_.erase(it);
+      }
+      return;
+    }
+    sparse_.insert(idx);
+  }
+
+  bool contains(SeqNo idx) const {
+    return idx <= watermark_ || sparse_.count(idx) > 0;
+  }
+
+  /// Largest idx such that every value in [1, idx] is present.
+  SeqNo watermark() const { return watermark_; }
+
+  std::size_t sparse_size() const { return sparse_.size(); }
+
+  void reset(SeqNo watermark = 0) {
+    watermark_ = watermark;
+    sparse_.clear();
+  }
+
+ private:
+  SeqNo watermark_ = 0;      // all of [1, watermark_] present
+  std::set<SeqNo> sparse_;   // out-of-order members above the watermark
+};
+
+}  // namespace windar::ft

@@ -1,0 +1,169 @@
+#include "windar/tag_protocol.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace windar::ft {
+
+TagProtocol::TagProtocol(int rank, int n)
+    : LoggingProtocol(rank, n), unsent_(static_cast<std::size_t>(n)) {
+  WINDAR_CHECK_LE(n, 64) << "TAG knowledge bitmask supports up to 64 ranks";
+}
+
+std::uint32_t TagProtocol::add_det(const Determinant& d,
+                                   std::uint64_t mask_bits) {
+  auto [it, inserted] = index_.try_emplace(
+      d.key(), static_cast<std::uint32_t>(entries_.size()));
+  if (!inserted) {
+    Entry& e = entries_[it->second];
+    e.known_mask |= mask_bits;
+    return it->second;
+  }
+  entries_.push_back(Entry{d, mask_bits | bit(rank_), false});
+  ++live_entries_;
+  const auto id = static_cast<std::uint32_t>(entries_.size() - 1);
+  // Queue for piggybacking to every destination that may lack it; the mask
+  // check at drain time skips ones that became known in the meantime.
+  for (int dst = 0; dst < n_; ++dst) {
+    if (dst != rank_) unsent_[static_cast<std::size_t>(dst)].push_back(id);
+  }
+  return id;
+}
+
+Piggyback TagProtocol::on_send(int dst, SeqNo send_index) {
+  (void)send_index;
+  // Drain the incremental part of the antecedence graph for this
+  // destination: everything discovered since the last send that the
+  // destination is not already believed to hold.
+  auto& pending = unsent_[static_cast<std::size_t>(dst)];
+  util::ByteWriter w;
+  std::uint32_t count = 0;
+  util::ByteWriter dets;
+  for (std::uint32_t id : pending) {
+    Entry& e = entries_[id];
+    if (e.dead || (e.known_mask & bit(dst)) != 0) continue;
+    e.known_mask |= bit(dst);  // optimistic: the message will carry it
+    e.det.write(dets);
+    ++count;
+  }
+  pending.clear();
+  w.u32(count);
+  w.raw(dets.view());
+  return Piggyback{w.take(), count * kIdentsPerDeterminant};
+}
+
+void TagProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
+                             std::span<const std::uint8_t> meta) {
+  util::ByteReader r(meta);
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Determinant d = Determinant::read(r);
+    // The sender held it, and now so do we.
+    add_det(d, bit(src) | bit(rank_));
+  }
+  // Our own delivery becomes a new non-deterministic event determinant.
+  // The sender does not know our delivery order, so only we hold it.
+  add_det(Determinant{static_cast<SeqNo>(src), static_cast<SeqNo>(rank_),
+                      send_index, deliver_seq},
+          bit(rank_));
+  replay_.on_deliver(deliver_seq);
+}
+
+bool TagProtocol::deliverable(const QueuedMsg& m,
+                              SeqNo delivered_total) const {
+  return replay_.deliverable(m.src, m.send_index, delivered_total);
+}
+
+void TagProtocol::begin_replay(SeqNo delivered_total) {
+  replay_.begin(delivered_total);
+}
+
+void TagProtocol::add_replay_determinants(std::span<const Determinant> ds) {
+  for (const auto& d : ds) replay_.add(d, rank_);
+}
+
+std::vector<Determinant> TagProtocol::determinants_for(int peer) const {
+  std::vector<Determinant> out;
+  for (const Entry& e : entries_) {
+    if (!e.dead && static_cast<int>(e.det.receiver) == peer) {
+      out.push_back(e.det);
+    }
+  }
+  return out;
+}
+
+void TagProtocol::on_peer_checkpoint(int peer, SeqNo peer_delivered_total) {
+  // Deliveries the peer has checkpointed past can never be replayed; their
+  // determinants are garbage.  Entries are tombstoned (ids stay stable for
+  // the unsent lists) and skipped everywhere.
+  for (Entry& e : entries_) {
+    if (!e.dead && static_cast<int>(e.det.receiver) == peer &&
+        e.det.deliver_seq <= peer_delivered_total) {
+      e.dead = true;
+      index_.erase(e.det.key());
+      --live_entries_;
+    }
+  }
+  maybe_compact();
+}
+
+void TagProtocol::maybe_compact() {
+  if (entries_.size() < 1024 || live_entries_ * 2 > entries_.size()) return;
+  std::vector<std::uint32_t> remap(entries_.size(),
+                                   std::numeric_limits<std::uint32_t>::max());
+  std::vector<Entry> kept;
+  kept.reserve(live_entries_);
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].dead) continue;
+    remap[id] = static_cast<std::uint32_t>(kept.size());
+    kept.push_back(std::move(entries_[id]));
+  }
+  entries_ = std::move(kept);
+  index_.clear();
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    index_.emplace(entries_[id].det.key(), id);
+  }
+  for (auto& pending : unsent_) {
+    std::vector<std::uint32_t> fresh;
+    fresh.reserve(pending.size());
+    for (std::uint32_t old_id : pending) {
+      const std::uint32_t new_id = remap[old_id];
+      if (new_id != std::numeric_limits<std::uint32_t>::max()) {
+        fresh.push_back(new_id);
+      }
+    }
+    pending = std::move(fresh);
+  }
+}
+
+void TagProtocol::save(util::ByteWriter& w) const {
+  std::uint32_t live = 0;
+  for (const Entry& e : entries_) {
+    if (!e.dead) ++live;
+  }
+  w.u32(live);
+  for (const Entry& e : entries_) {
+    if (e.dead) continue;
+    e.det.write(w);
+    w.u64(e.known_mask);
+  }
+}
+
+void TagProtocol::restore(util::ByteReader& r) {
+  entries_.clear();
+  index_.clear();
+  live_entries_ = 0;
+  for (auto& q : unsent_) q.clear();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Determinant d = Determinant::read(r);
+    const std::uint64_t mask = r.u64();
+    // add_det rebuilds the unsent lists; then narrow them back down using
+    // the saved mask (peers that already held the determinant keep it —
+    // knowledge is never lost by *our* failure).
+    add_det(d, mask);
+  }
+}
+
+}  // namespace windar::ft

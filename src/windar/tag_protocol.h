@@ -1,0 +1,73 @@
+// TAG — causal logging with an antecedence graph (Manetho [6] / LogOn [7]
+// style baseline).
+//
+// Every delivery event creates a determinant; a process piggybacks, on each
+// outgoing message, every determinant in its causal past that it cannot
+// prove the destination already holds.  Knowledge is tracked optimistically
+// with a per-determinant bitmask over ranks (piggybacking to d marks d as
+// knowing; delivering from s marks s as knowing everything merged).  This is
+// the "incremental part of the antecedence graph" optimization — the paper's
+// §V notes its calculation is itself a source of overhead, which shows up
+// here as the per-send drain of the unsent lists.
+//
+// Recovery is strict PWD: the incarnation gathers determinants about its own
+// past deliveries from all survivors (RESPONSE messages) and replays logged
+// messages in exactly the recorded order via PwdReplayGate.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "windar/protocol.h"
+#include "windar/pwd_replay.h"
+
+namespace windar::ft {
+
+class TagProtocol final : public LoggingProtocol {
+ public:
+  TagProtocol(int rank, int n);
+
+  ProtocolKind kind() const override { return ProtocolKind::kTag; }
+
+  Piggyback on_send(int dst, SeqNo send_index) override;
+  void on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
+                  std::span<const std::uint8_t> meta) override;
+  bool deliverable(const QueuedMsg& m, SeqNo delivered_total) const override;
+
+  void save(util::ByteWriter& w) const override;
+  void restore(util::ByteReader& r) override;
+
+  bool needs_determinant_gather() const override { return true; }
+  void begin_replay(SeqNo delivered_total) override;
+  void add_replay_determinants(std::span<const Determinant> ds) override;
+  std::vector<Determinant> determinants_for(int peer) const override;
+  void on_peer_checkpoint(int peer, SeqNo peer_delivered_total) override;
+
+  std::size_t tracked_entries() const override { return live_entries_; }
+  std::string debug_string() const override { return replay_.debug_string(); }
+  bool replay_active() const { return replay_.active(); }
+
+ private:
+  struct Entry {
+    Determinant det;
+    std::uint64_t known_mask = 0;  // bit r: rank r (believed to) hold this
+    bool dead = false;             // released by checkpoint GC
+  };
+
+  /// Adds or refreshes a determinant; returns its entry id.
+  std::uint32_t add_det(const Determinant& d, std::uint64_t mask_bits);
+
+  /// Rebuilds the entry store when tombstones dominate, remapping the
+  /// per-destination unsent lists.
+  void maybe_compact();
+
+  static std::uint64_t bit(int r) { return std::uint64_t{1} << r; }
+
+  std::vector<Entry> entries_;                       // discovery order
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;  // det key -> id
+  std::vector<std::vector<std::uint32_t>> unsent_;   // per-destination ids
+  std::size_t live_entries_ = 0;
+  PwdReplayGate replay_;
+};
+
+}  // namespace windar::ft

@@ -1,0 +1,125 @@
+#include "windar/tdi_protocol.h"
+
+#include "util/check.h"
+
+namespace windar::ft {
+
+namespace {
+
+// Sparse blobs tag the leading count word with this bit; dense blobs carry
+// the plain element count (always < 2^31), so the two forms are
+// distinguishable on the wire.
+constexpr std::uint32_t kSparseMarker = 0x80000000u;
+
+std::uint32_t read_u32_at(std::span<const std::uint8_t> meta,
+                          std::size_t off) {
+  WINDAR_CHECK_LE(off + 4, meta.size()) << "piggyback too short";
+  return static_cast<std::uint32_t>(meta[off]) |
+         (static_cast<std::uint32_t>(meta[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(meta[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(meta[off + 3]) << 24);
+}
+
+}  // namespace
+
+TdiProtocol::TdiProtocol(int rank, int n, Encoding encoding)
+    : LoggingProtocol(rank, n),
+      encoding_(encoding),
+      depend_interval_(static_cast<std::size_t>(n), 0) {}
+
+Piggyback TdiProtocol::on_send(int dst, SeqNo send_index) {
+  (void)dst;
+  (void)send_index;
+  // The outgoing message depends on exactly the sender's current state
+  // interval, described by the whole vector (Algorithm 1 line 11).
+  util::ByteWriter w;
+  if (encoding_ == Encoding::kDense) {
+    w.u32_vec(depend_interval_);
+    // One identifier per vector element; this is the paper's example where
+    // a 4-process system piggybacks 4 identifiers per message.
+    return Piggyback{w.take(), static_cast<std::uint32_t>(n_)};
+  }
+  // Sparse: (index, value) pairs for the non-zero entries only.
+  std::uint32_t nnz = 0;
+  for (SeqNo v : depend_interval_) {
+    if (v != 0) ++nnz;
+  }
+  w.u32(kSparseMarker | nnz);
+  for (int k = 0; k < n_; ++k) {
+    const SeqNo v = depend_interval_[static_cast<std::size_t>(k)];
+    if (v != 0) {
+      w.u32(static_cast<std::uint32_t>(k));
+      w.u32(v);
+    }
+  }
+  return Piggyback{w.take(), 2 * nnz};
+}
+
+SeqNo TdiProtocol::piggybacked_element(std::span<const std::uint8_t> meta,
+                                       int element) {
+  const std::uint32_t head = read_u32_at(meta, 0);
+  if ((head & kSparseMarker) == 0) {
+    // Dense layout: u32 count, then count u32 values.
+    return read_u32_at(meta, 4 + 4 * static_cast<std::size_t>(element));
+  }
+  const std::uint32_t nnz = head & ~kSparseMarker;
+  for (std::uint32_t i = 0; i < nnz; ++i) {
+    const std::size_t off = 4 + 8 * static_cast<std::size_t>(i);
+    if (read_u32_at(meta, off) == static_cast<std::uint32_t>(element)) {
+      return read_u32_at(meta, off + 4);
+    }
+  }
+  return 0;  // absent entry == zero dependency
+}
+
+std::vector<SeqNo> TdiProtocol::decode(std::span<const std::uint8_t> meta,
+                                       int n) {
+  util::ByteReader r(meta);
+  const std::uint32_t head = r.u32();
+  std::vector<SeqNo> out(static_cast<std::size_t>(n), 0);
+  if ((head & kSparseMarker) == 0) {
+    WINDAR_CHECK_EQ(head, static_cast<std::uint32_t>(n))
+        << "depend_interval width mismatch";
+    for (auto& v : out) v = r.u32();
+  } else {
+    const std::uint32_t nnz = head & ~kSparseMarker;
+    for (std::uint32_t i = 0; i < nnz; ++i) {
+      const std::uint32_t idx = r.u32();
+      WINDAR_CHECK_LT(idx, static_cast<std::uint32_t>(n)) << "bad sparse idx";
+      out[idx] = r.u32();
+    }
+  }
+  return out;
+}
+
+bool TdiProtocol::deliverable(const QueuedMsg& m, SeqNo delivered_total) const {
+  // Algorithm 1 line 17: depend_interval_i[i] >= m.depend_interval[i].
+  return delivered_total >= piggybacked_element(m.meta, rank_);
+}
+
+void TdiProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
+                             std::span<const std::uint8_t> meta) {
+  (void)src;
+  (void)send_index;
+  const std::vector<SeqNo> piggybacked = decode(meta, n_);
+  // Lines 20, 22-24: advance own interval, merge the rest element-wise max.
+  depend_interval_[static_cast<std::size_t>(rank_)] = deliver_seq;
+  for (int k = 0; k < n_; ++k) {
+    if (k == rank_) continue;
+    auto& mine = depend_interval_[static_cast<std::size_t>(k)];
+    const SeqNo theirs = piggybacked[static_cast<std::size_t>(k)];
+    if (theirs > mine) mine = theirs;
+  }
+}
+
+void TdiProtocol::save(util::ByteWriter& w) const {
+  w.u32_vec(depend_interval_);
+}
+
+void TdiProtocol::restore(util::ByteReader& r) {
+  depend_interval_ = r.u32_vec();
+  WINDAR_CHECK_EQ(depend_interval_.size(), static_cast<std::size_t>(n_))
+      << "restored depend_interval width mismatch";
+}
+
+}  // namespace windar::ft

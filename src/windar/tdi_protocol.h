@@ -1,0 +1,73 @@
+// TDI — Tracking based on Dependent Interval (the paper's protocol, §III).
+//
+// The only tracked state is `depend_interval[n]`: element i is the index of
+// the process-state interval of process i that this process's current state
+// depends on.  depend_interval[rank_] is the number of messages this process
+// has delivered.  On send the whole vector is piggybacked (n identifiers); on
+// delivery the piggybacked vector is merged element-wise max and
+// depend_interval[rank_] advances.
+//
+// The delivery gate is the paper's Algorithm 1 line 17: a message may be
+// delivered as soon as the receiver has delivered at least
+// m.depend_interval[receiver] messages — in *any* order.  Independent
+// messages therefore replay in arrival order during recovery, which is the
+// source of both the piggyback reduction (vector instead of a determinant
+// graph) and the rolling-forward speedup.
+#pragma once
+
+#include <vector>
+
+#include "windar/protocol.h"
+
+namespace windar::ft {
+
+class TdiProtocol final : public LoggingProtocol {
+ public:
+  /// Wire encoding of the piggybacked vector.
+  ///   kDense  — the paper's form: all n entries (n identifiers/message).
+  ///   kSparse — extension: only non-zero entries as (index, value) pairs
+  ///             (2 identifiers each).  On sparse communication graphs most
+  ///             entries stay zero, so piggyback drops below n; semantics
+  ///             are unchanged (missing entries read as zero).
+  enum class Encoding { kDense, kSparse };
+
+  TdiProtocol(int rank, int n, Encoding encoding = Encoding::kDense);
+
+  ProtocolKind kind() const override {
+    return encoding_ == Encoding::kDense ? ProtocolKind::kTdi
+                                         : ProtocolKind::kTdiSparse;
+  }
+
+  Piggyback on_send(int dst, SeqNo send_index) override;
+  void on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
+                  std::span<const std::uint8_t> meta) override;
+  bool deliverable(const QueuedMsg& m, SeqNo delivered_total) const override;
+
+  void save(util::ByteWriter& w) const override;
+  void restore(util::ByteReader& r) override;
+
+  SeqNo depend_on_receiver(const QueuedMsg& m) const override {
+    return piggybacked_element(m.meta, rank_);
+  }
+
+  Encoding encoding() const { return encoding_; }
+
+  std::size_t tracked_entries() const override { return depend_interval_.size(); }
+
+  const std::vector<SeqNo>& depend_interval() const { return depend_interval_; }
+
+  /// Reads depend_interval[element] out of a piggyback blob without a full
+  /// parse.  Handles both encodings (the blob is self-describing).
+  static SeqNo piggybacked_element(std::span<const std::uint8_t> meta,
+                                   int element);
+
+  /// Decodes a piggyback blob (either encoding) into a dense vector of
+  /// width n.
+  static std::vector<SeqNo> decode(std::span<const std::uint8_t> meta, int n);
+
+ private:
+  Encoding encoding_;
+  std::vector<SeqNo> depend_interval_;
+};
+
+}  // namespace windar::ft

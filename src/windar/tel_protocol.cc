@@ -1,0 +1,157 @@
+#include "windar/tel_protocol.h"
+
+#include "util/check.h"
+
+namespace windar::ft {
+
+TelProtocol::TelProtocol(int rank, int n)
+    : LoggingProtocol(rank, n),
+      by_owner_(static_cast<std::size_t>(n)),
+      stable_wm_(static_cast<std::size_t>(n), 0) {}
+
+Piggyback TelProtocol::on_send(int dst, SeqNo send_index) {
+  (void)dst;
+  (void)send_index;
+  util::ByteWriter w;
+  // Stability watermark vector: lets the receiver drop its own copies of
+  // determinants that have reached stable storage.
+  w.u32_vec(stable_wm_);
+  // Only this process's own unstable determinants travel: peers that
+  // received them earlier keep their copies until stability, and the event
+  // logger holds the stable prefix, so recovery can always reassemble the
+  // full history (single-failure coverage, as in [5]).
+  std::uint32_t count = 0;
+  util::ByteWriter dets;
+  for (const auto& [seq, det] : by_owner_[static_cast<std::size_t>(rank_)]) {
+    (void)seq;
+    det.write(dets);
+    ++count;
+  }
+  w.u32(count);
+  w.raw(dets.view());
+  return Piggyback{w.take(), static_cast<std::uint32_t>(n_) +
+                                 count * kIdentsPerDeterminant};
+}
+
+void TelProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
+                             std::span<const std::uint8_t> meta) {
+  (void)src;
+  util::ByteReader r(meta);
+  const std::vector<SeqNo> their_wm = r.u32_vec();
+  WINDAR_CHECK_EQ(their_wm.size(), stable_wm_.size()) << "wm width mismatch";
+  bool advanced = false;
+  for (std::size_t k = 0; k < stable_wm_.size(); ++k) {
+    if (their_wm[k] > stable_wm_[k]) {
+      stable_wm_[k] = their_wm[k];
+      advanced = true;
+    }
+  }
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Determinant d = Determinant::read(r);
+    if (d.deliver_seq <= stable_wm_[d.receiver]) continue;  // already stable
+    by_owner_[d.receiver].emplace(d.deliver_seq, d);
+  }
+  if (advanced) {
+    for (int p = 0; p < n_; ++p) prune(p);
+  }
+  // Record our own delivery; it is unstable until the logger acks it.
+  const Determinant mine{static_cast<SeqNo>(src), static_cast<SeqNo>(rank_),
+                         send_index, deliver_seq};
+  if (mine.deliver_seq > stable_wm_[static_cast<std::size_t>(rank_)]) {
+    by_owner_[static_cast<std::size_t>(rank_)].emplace(deliver_seq, mine);
+  }
+  replay_.on_deliver(deliver_seq);
+}
+
+bool TelProtocol::deliverable(const QueuedMsg& m,
+                              SeqNo delivered_total) const {
+  return replay_.deliverable(m.src, m.send_index, delivered_total);
+}
+
+std::vector<Determinant> TelProtocol::take_unlogged(std::size_t max_batch) {
+  std::vector<Determinant> out;
+  const auto& own = by_owner_[static_cast<std::size_t>(rank_)];
+  for (auto it = own.upper_bound(flushed_upto_);
+       it != own.end() && out.size() < max_batch; ++it) {
+    out.push_back(it->second);
+  }
+  if (!out.empty()) flushed_upto_ = out.back().deliver_seq;
+  return out;
+}
+
+void TelProtocol::on_logger_ack(SeqNo watermark) {
+  auto& wm = stable_wm_[static_cast<std::size_t>(rank_)];
+  if (watermark > wm) {
+    wm = watermark;
+    prune(rank_);
+  }
+}
+
+void TelProtocol::prune(int owner) {
+  auto& per_owner = by_owner_[static_cast<std::size_t>(owner)];
+  const SeqNo wm = stable_wm_[static_cast<std::size_t>(owner)];
+  while (!per_owner.empty() && per_owner.begin()->first <= wm) {
+    per_owner.erase(per_owner.begin());
+  }
+}
+
+void TelProtocol::begin_replay(SeqNo delivered_total) {
+  replay_.begin(delivered_total);
+}
+
+void TelProtocol::add_replay_determinants(std::span<const Determinant> ds) {
+  for (const auto& d : ds) replay_.add(d, rank_);
+}
+
+std::vector<Determinant> TelProtocol::determinants_for(int peer) const {
+  std::vector<Determinant> out;
+  for (const auto& [seq, det] : by_owner_[static_cast<std::size_t>(peer)]) {
+    (void)seq;
+    out.push_back(det);
+  }
+  return out;
+}
+
+void TelProtocol::on_peer_checkpoint(int peer, SeqNo peer_delivered_total) {
+  auto& per_owner = by_owner_[static_cast<std::size_t>(peer)];
+  while (!per_owner.empty() &&
+         per_owner.begin()->first <= peer_delivered_total) {
+    per_owner.erase(per_owner.begin());
+  }
+}
+
+std::size_t TelProtocol::tracked_entries() const {
+  std::size_t total = 0;
+  for (const auto& per_owner : by_owner_) total += per_owner.size();
+  return total;
+}
+
+void TelProtocol::save(util::ByteWriter& w) const {
+  w.u32_vec(stable_wm_);
+  w.u32(flushed_upto_);
+  for (const auto& per_owner : by_owner_) {
+    w.u32(static_cast<std::uint32_t>(per_owner.size()));
+    for (const auto& [seq, det] : per_owner) {
+      (void)seq;
+      det.write(w);
+    }
+  }
+}
+
+void TelProtocol::restore(util::ByteReader& r) {
+  stable_wm_ = r.u32_vec();
+  WINDAR_CHECK_EQ(stable_wm_.size(), static_cast<std::size_t>(n_))
+      << "restored wm width mismatch";
+  flushed_upto_ = r.u32();
+  for (auto& per_owner : by_owner_) {
+    per_owner.clear();
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Determinant d = Determinant::read(r);
+      per_owner.emplace(d.deliver_seq, d);
+    }
+  }
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,75 @@
+// TEL — causal logging with a stable-storage event logger (Bouteiller et
+// al. [5] style baseline).
+//
+// Determinants are pushed asynchronously to a dedicated event-logger node;
+// a determinant stops being piggybacked as soon as the logger acknowledges
+// it as stable.  Until then, the *owner's* copies travel on its outgoing
+// messages together with its stability-watermark vector; receivers retain
+// (but do not re-forward) foreign determinants until the watermark covers
+// them, which with the stable logger gives single-failure coverage as in
+// [5].
+//
+// Piggyback accounting: n identifiers for the watermark vector plus 4 per
+// unstable determinant.  The asynchronous logger traffic (kTelLog / kTelAck)
+// is counted as control messages, matching the paper's remark that TEL
+// introduces "extra notification messages".
+//
+// Recovery is strict PWD like TAG, except stable determinants are fetched
+// from the event logger (kTelQuery) while survivors supply only the
+// still-unstable tail.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "windar/protocol.h"
+#include "windar/pwd_replay.h"
+
+namespace windar::ft {
+
+class TelProtocol final : public LoggingProtocol {
+ public:
+  TelProtocol(int rank, int n);
+
+  ProtocolKind kind() const override { return ProtocolKind::kTel; }
+
+  Piggyback on_send(int dst, SeqNo send_index) override;
+  void on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
+                  std::span<const std::uint8_t> meta) override;
+  bool deliverable(const QueuedMsg& m, SeqNo delivered_total) const override;
+
+  void save(util::ByteWriter& w) const override;
+  void restore(util::ByteReader& r) override;
+
+  bool needs_determinant_gather() const override { return true; }
+  bool uses_event_logger() const override { return true; }
+  void begin_replay(SeqNo delivered_total) override;
+  void add_replay_determinants(std::span<const Determinant> ds) override;
+  std::vector<Determinant> determinants_for(int peer) const override;
+  void on_peer_checkpoint(int peer, SeqNo peer_delivered_total) override;
+
+  std::vector<Determinant> take_unlogged(std::size_t max_batch) override;
+  void on_logger_ack(SeqNo watermark) override;
+
+  std::size_t tracked_entries() const override;
+  std::string debug_string() const override {
+    std::string out = replay_.debug_string() + " wm=";
+    for (SeqNo v : stable_wm_) out += std::to_string(v) + ",";
+    return out;
+  }
+  SeqNo stable_watermark(int owner) const {
+    return stable_wm_[static_cast<std::size_t>(owner)];
+  }
+
+ private:
+  void prune(int owner);
+
+  // Unstable determinants, keyed by the owning (receiving) process and its
+  // delivery order.  Stable ones live at the event logger.
+  std::vector<std::map<SeqNo, Determinant>> by_owner_;
+  std::vector<SeqNo> stable_wm_;  // highest known-stable deliver_seq per owner
+  SeqNo flushed_upto_ = 0;        // own dets handed to the logger so far
+  PwdReplayGate replay_;
+};
+
+}  // namespace windar::ft

@@ -1,0 +1,153 @@
+#include "windar/trace.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace windar::ft {
+
+void TraceSink::record(TraceEvent ev) {
+  std::scoped_lock lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::scoped_lock lock(mu_);
+  return events_;
+}
+
+std::size_t TraceSink::size() const {
+  std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+void TraceSink::clear() {
+  std::scoped_lock lock(mu_);
+  events_.clear();
+}
+
+std::string TraceSink::dump() const {
+  const auto events = snapshot();
+  std::string out;
+  char line[160];
+  for (const auto& e : events) {
+    const char* kind = nullptr;
+    switch (e.kind) {
+      case TraceEvent::Kind::kSend: kind = "send   "; break;
+      case TraceEvent::Kind::kDeliver: kind = "deliver"; break;
+      case TraceEvent::Kind::kCheckpoint: kind = "ckpt   "; break;
+      case TraceEvent::Kind::kRecover: kind = "recover"; break;
+    }
+    std::snprintf(line, sizeof line,
+                  "rank %2d.%u  %s  peer=%2d  idx=%u  seq=%u  dep=%u\n",
+                  e.rank, e.incarnation, kind, e.peer, e.pair_index,
+                  e.deliver_seq, e.depend_self);
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+void violation(TraceVerdict& verdict, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  verdict.violations.emplace_back(buf);
+}
+
+}  // namespace
+
+TraceVerdict validate_trace(const std::vector<TraceEvent>& events, int n) {
+  TraceVerdict verdict;
+
+  // Per (rank, incarnation) delivery state, seeded by the kRecover event's
+  // restored vector (incarnation 0 starts from zero).
+  struct IncState {
+    bool seen = false;
+    std::vector<SeqNo> next_from;  // next expected pair index per sender
+    SeqNo delivered = 0;           // deliveries within this incarnation view
+    SeqNo base = 0;                // restored delivered_total
+  };
+  std::map<std::pair<int, std::uint32_t>, IncState> incs;
+
+  auto state_of = [&](int rank, std::uint32_t inc) -> IncState& {
+    auto& st = incs[{rank, inc}];
+    if (!st.seen) {
+      st.seen = true;
+      st.next_from.assign(static_cast<std::size_t>(n), 1);
+    }
+    return st;
+  };
+
+  for (const auto& e : events) {
+    if (e.rank < 0 || e.rank >= n) {
+      violation(verdict, "event with bad rank %d", e.rank);
+      continue;
+    }
+    switch (e.kind) {
+      case TraceEvent::Kind::kRecover: {
+        IncState& st = state_of(e.rank, e.incarnation);
+        if (e.restored_deliver.size() != static_cast<std::size_t>(n)) {
+          violation(verdict, "rank %d inc %u: restored vector width %zu != %d",
+                    e.rank, e.incarnation, e.restored_deliver.size(), n);
+          break;
+        }
+        for (int s = 0; s < n; ++s) {
+          st.next_from[static_cast<std::size_t>(s)] =
+              e.restored_deliver[static_cast<std::size_t>(s)] + 1;
+        }
+        st.base = e.deliver_seq;
+        st.delivered = e.deliver_seq;
+        break;
+      }
+      case TraceEvent::Kind::kDeliver: {
+        IncState& st = state_of(e.rank, e.incarnation);
+        ++verdict.deliveries_checked;
+        if (e.peer < 0 || e.peer >= n) {
+          violation(verdict, "delivery with bad peer %d", e.peer);
+          break;
+        }
+        // FIFO + continuity: exactly the next pair index from this sender.
+        SeqNo& expect = st.next_from[static_cast<std::size_t>(e.peer)];
+        if (e.pair_index != expect) {
+          violation(verdict,
+                    "rank %d inc %u: delivery from %d idx %u, expected %u "
+                    "(FIFO/continuity)",
+                    e.rank, e.incarnation, e.peer, e.pair_index, expect);
+        }
+        expect = e.pair_index + 1;
+        // Order: deliver_seq contiguous.
+        if (e.deliver_seq != st.delivered + 1) {
+          violation(verdict,
+                    "rank %d inc %u: deliver_seq %u, expected %u (order)",
+                    e.rank, e.incarnation, e.deliver_seq, st.delivered + 1);
+        }
+        st.delivered = e.deliver_seq;
+        // Gate (no orphan): dependency on self must already be satisfied.
+        if (e.depend_self > e.deliver_seq - 1) {
+          violation(verdict,
+                    "rank %d inc %u: delivered idx %u from %d needing %u "
+                    "prior deliveries but had %u (gate)",
+                    e.rank, e.incarnation, e.pair_index, e.peer,
+                    e.depend_self, e.deliver_seq - 1);
+        }
+        break;
+      }
+      case TraceEvent::Kind::kSend:
+        ++verdict.sends_checked;
+        if (e.peer < 0 || e.peer >= n) {
+          violation(verdict, "send with bad peer %d", e.peer);
+        }
+        break;
+      case TraceEvent::Kind::kCheckpoint:
+        break;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,81 @@
+// Causal event tracing and offline invariant validation.
+//
+// When a TraceSink is attached to a job, every Process reports its send,
+// delivery, checkpoint and recovery events.  The offline validator then
+// replays the trace and checks the protocol-level obligations the paper's
+// correctness argument (§III.D) rests on:
+//
+//   FIFO        within one incarnation, deliveries from a given sender use
+//               strictly consecutive pair indices;
+//   continuity  an incarnation's first delivery from each sender continues
+//               exactly where the restored checkpoint left off (no lost or
+//               repeated message across the failure);
+//   gate        no delivery happened before the receiver had delivered the
+//               number of messages the piggyback declared it depends on
+//               (TDI's no-orphan condition, Algorithm 1 line 17);
+//   order       the deliver_seq values per incarnation are 1..k contiguous
+//               relative to the restored base.
+//
+// The sink is also the substrate for the paper's second motivating use
+// case, parallel-program debugging: dump() renders a per-rank, causally
+// annotated event log.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSend,        // peer = destination, pair_index = send_index
+    kDeliver,     // peer = source, pair_index = send_index
+    kCheckpoint,  // deliver_seq = delivered_total at save time
+    kRecover,     // deliver_seq = restored delivered_total
+  };
+
+  Kind kind = Kind::kSend;
+  int rank = -1;
+  std::uint32_t incarnation = 0;  // 0 = original process
+  int peer = -1;
+  SeqNo pair_index = 0;
+  SeqNo deliver_seq = 0;   // receiver-global order (deliver) / totals (others)
+  SeqNo depend_self = 0;   // piggybacked dependency on the receiver (deliver)
+  std::vector<SeqNo> restored_deliver;  // kRecover: last_deliver vector
+};
+
+/// Thread-safe collector shared by all ranks of a job.
+class TraceSink {
+ public:
+  void record(TraceEvent ev);
+
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Human-readable per-rank event log (debugging aid).
+  std::string dump() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Result of an offline validation pass: empty `violations` means the trace
+/// satisfies every checked invariant.
+struct TraceVerdict {
+  std::vector<std::string> violations;
+  std::uint64_t deliveries_checked = 0;
+  std::uint64_t sends_checked = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Validates FIFO / continuity / gate / order over a recorded trace.
+/// `n` is the rank count of the traced job.
+TraceVerdict validate_trace(const std::vector<TraceEvent>& events, int n);
+
+}  // namespace windar::ft

@@ -1,0 +1,58 @@
+// Wire-level constants shared by the recovery layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace windar::ft {
+
+/// Per-pair sequence number (the paper's send_index / deliver_index values).
+using SeqNo = std::uint32_t;
+
+/// Message kinds carried in net::Packet::kind.
+enum class Kind : std::uint16_t {
+  kApp = 1,             // application message, meta = protocol piggyback
+  kDeliverAck,          // receiver accepted message (blocking-mode sends)
+  kCheckpointAdvance,   // log release notification (Algorithm 1 line 36)
+  kRollback,            // incarnation broadcast (Algorithm 1 line 46)
+  kResponse,            // survivor reply (Algorithm 1 line 48)
+  kTelLog,              // rank -> event logger: determinant batch
+  kTelAck,              // event logger -> rank: stability watermark
+  kTelQuery,            // incarnation -> event logger: determinant request
+  kTelQueryReply,       // event logger -> incarnation
+};
+
+inline std::uint16_t wire(Kind k) { return static_cast<std::uint16_t>(k); }
+
+enum class ProtocolKind {
+  kTdi,        // this paper: dependency-interval vectors
+  kTag,        // baseline: antecedence graph (Manetho / LogOn style)
+  kTel,        // baseline: event-logger causal logging (Bouteiller et al.)
+  kTdiSparse,  // extension: TDI with sparse vector encoding — piggybacks
+               // only non-zero entries, sub-O(n) on sparse communication
+               // graphs (halo exchanges, rings)
+  kPes,        // baseline: pessimistic synchronous event logging — zero
+               // piggyback, a stable-storage round trip on every delivery
+};
+
+enum class SendMode {
+  kBlocking,     // paper Fig. 4(a): app thread waits for receiver acceptance
+  kNonBlocking,  // paper Fig. 4(b): buffered queues + sender/receiver threads
+};
+
+inline std::string to_string(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kTdi: return "TDI";
+    case ProtocolKind::kTag: return "TAG";
+    case ProtocolKind::kTel: return "TEL";
+    case ProtocolKind::kTdiSparse: return "TDI-S";
+    case ProtocolKind::kPes: return "PES";
+  }
+  return "?";
+}
+
+inline std::string to_string(SendMode m) {
+  return m == SendMode::kBlocking ? "blocking" : "nonblocking";
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,119 @@
+// Unit tests for the binary serialization primitives.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/bytes.h"
+
+namespace windar::util {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f64(3.14159265358979);
+  w.boolean(true);
+  w.boolean(false);
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, RoundTripExtremes) {
+  ByteWriter w;
+  w.u32(std::numeric_limits<std::uint32_t>::max());
+  w.i32(std::numeric_limits<std::int32_t>::min());
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u32(), std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(r.i32(), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), -0.0);
+}
+
+TEST(Bytes, LengthPrefixedSections) {
+  ByteWriter w;
+  Bytes blob = {1, 2, 3, 4, 5};
+  w.bytes(blob);
+  w.str("hello windar");
+  w.u32_vec(std::vector<std::uint32_t>{7, 8, 9});
+  w.u64_vec(std::vector<std::uint64_t>{1ull << 40});
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_EQ(r.str(), "hello windar");
+  EXPECT_EQ(r.u32_vec(), (std::vector<std::uint32_t>{7, 8, 9}));
+  EXPECT_EQ(r.u64_vec(), (std::vector<std::uint64_t>{1ull << 40}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, EmptySections) {
+  ByteWriter w;
+  w.bytes({});
+  w.str("");
+  w.u32_vec({});
+  ByteReader r(w.view());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.str().empty());
+  EXPECT_TRUE(r.u32_vec().empty());
+}
+
+TEST(Bytes, UnderflowAborts) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.view());
+  r.u8();
+  r.u8();
+  EXPECT_DEATH((void)r.u8(), "underflow");
+}
+
+TEST(Bytes, RawWithoutPrefix) {
+  ByteWriter w;
+  Bytes raw = {9, 9, 9};
+  w.raw(raw);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.view(), raw);
+}
+
+TEST(Bytes, TriviallyCopyableRoundTrip) {
+  struct P {
+    int a;
+    double b;
+  };
+  P p{42, 2.5};
+  Bytes data = to_bytes(p);
+  P q = from_bytes<P>(data);
+  EXPECT_EQ(q.a, 42);
+  EXPECT_DOUBLE_EQ(q.b, 2.5);
+}
+
+TEST(Bytes, WriterSizeTracksAppends) {
+  ByteWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  w.u64(1);
+  EXPECT_EQ(w.size(), 8u);
+  w.u8(1);
+  EXPECT_EQ(w.size(), 9u);
+  Bytes taken = w.take();
+  EXPECT_EQ(taken.size(), 9u);
+}
+
+}  // namespace
+}  // namespace windar::util

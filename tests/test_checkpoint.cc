@@ -1,0 +1,103 @@
+// Tests for checkpoint images and the stable store (in-memory and on-disk).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "windar/checkpoint.h"
+
+namespace windar::ft {
+namespace {
+
+CheckpointImage sample_image() {
+  CheckpointImage img;
+  img.ckpt_seq = 3;
+  img.app = {1, 2, 3};
+  img.proto = {9, 8};
+  img.last_send = {0, 5, 2};
+  img.last_deliver = {0, 4, 4};
+  img.delivered_total = 8;
+  img.log = {7};
+  return img;
+}
+
+TEST(CheckpointImage, SerializeRoundTrip) {
+  const CheckpointImage img = sample_image();
+  const util::Bytes blob = img.serialize();
+  const CheckpointImage back = CheckpointImage::deserialize(blob);
+  EXPECT_EQ(back.ckpt_seq, img.ckpt_seq);
+  EXPECT_EQ(back.app, img.app);
+  EXPECT_EQ(back.proto, img.proto);
+  EXPECT_EQ(back.last_send, img.last_send);
+  EXPECT_EQ(back.last_deliver, img.last_deliver);
+  EXPECT_EQ(back.delivered_total, img.delivered_total);
+  EXPECT_EQ(back.log, img.log);
+}
+
+TEST(CheckpointImage, BytesEstimatePositive) {
+  EXPECT_GT(sample_image().bytes(), 0u);
+}
+
+TEST(CheckpointStore, SaveLoadInMemory) {
+  CheckpointStore store;
+  EXPECT_FALSE(store.has(1));
+  EXPECT_FALSE(store.load(1).has_value());
+  store.save(1, sample_image());
+  EXPECT_TRUE(store.has(1));
+  auto img = store.load(1);
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ(img->delivered_total, 8u);
+}
+
+TEST(CheckpointStore, OverwriteKeepsLatest) {
+  CheckpointStore store;
+  store.save(0, sample_image());
+  CheckpointImage img2 = sample_image();
+  img2.ckpt_seq = 9;
+  img2.delivered_total = 100;
+  store.save(0, img2);
+  auto loaded = store.load(0);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->ckpt_seq, 9u);
+  EXPECT_EQ(loaded->delivered_total, 100u);
+}
+
+TEST(CheckpointStore, PerRankIsolation) {
+  CheckpointStore store;
+  store.save(0, sample_image());
+  EXPECT_FALSE(store.has(1));
+}
+
+TEST(CheckpointStore, StatsAccumulate) {
+  CheckpointStore store;
+  store.save(0, sample_image());
+  store.save(0, sample_image());
+  (void)store.load(0);
+  auto stats = store.stats();
+  EXPECT_EQ(stats.saves, 2u);
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_GT(stats.bytes_written, 0u);
+}
+
+TEST(CheckpointStore, SpillToDiskRoundTrip) {
+  const std::string dir = "/tmp/windar_test_ckpt";
+  std::filesystem::remove_all(dir);
+  {
+    CheckpointStore store(dir);
+    store.save(2, sample_image());
+    EXPECT_TRUE(std::filesystem::exists(dir + "/ckpt_rank2.bin"));
+    auto img = store.load(2);
+    ASSERT_TRUE(img.has_value());
+    EXPECT_EQ(img->app, sample_image().app);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStore, ClearRemovesAll) {
+  CheckpointStore store;
+  store.save(0, sample_image());
+  store.clear();
+  EXPECT_FALSE(store.has(0));
+}
+
+}  // namespace
+}  // namespace windar::ft

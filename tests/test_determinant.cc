@@ -1,0 +1,56 @@
+// Unit tests for determinant records and their wire encoding.
+#include <gtest/gtest.h>
+
+#include "windar/determinant.h"
+
+namespace windar::ft {
+namespace {
+
+TEST(Determinant, WireRoundTrip) {
+  const Determinant d{3, 7, 42, 1001};
+  util::ByteWriter w;
+  d.write(w);
+  EXPECT_EQ(w.size(), 16u);  // 4 identifiers x 4 bytes
+  util::ByteReader r(w.view());
+  EXPECT_EQ(Determinant::read(r), d);
+}
+
+TEST(Determinant, KeyIdentifiesMessageNotDelivery) {
+  const Determinant a{1, 2, 3, 10};
+  const Determinant b{1, 2, 3, 99};  // same message, different deliver_seq
+  EXPECT_EQ(a.key(), b.key());
+  const Determinant c{1, 2, 4, 10};
+  EXPECT_NE(a.key(), c.key());
+  const Determinant d{2, 1, 3, 10};  // swapped sender/receiver
+  EXPECT_NE(a.key(), d.key());
+}
+
+TEST(Determinant, KeyPacksLargeIndices) {
+  const Determinant a{65535, 65535, 0xFFFFFFFFu, 1};
+  const Determinant b{65535, 65534, 0xFFFFFFFFu, 1};
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(Determinant, VectorRoundTrip) {
+  std::vector<Determinant> ds{{1, 2, 3, 4}, {5, 6, 7, 8}};
+  util::ByteWriter w;
+  write_determinants(w, ds);
+  util::ByteReader r(w.view());
+  EXPECT_EQ(read_determinants(r), ds);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Determinant, EmptyVectorRoundTrip) {
+  util::ByteWriter w;
+  write_determinants(w, {});
+  util::ByteReader r(w.view());
+  EXPECT_TRUE(read_determinants(r).empty());
+}
+
+TEST(Determinant, IdentifierCountMatchesPaper) {
+  // The paper counts a message's metadata as 4 identifiers (§III.A).
+  EXPECT_EQ(kIdentsPerDeterminant, 4u);
+}
+
+}  // namespace
+}  // namespace windar::ft

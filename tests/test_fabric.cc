@@ -1,0 +1,132 @@
+// Tests for the simulated interconnect: delivery, latency ordering, the
+// fault plane, and statistics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/fabric.h"
+
+namespace windar::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Packet make(int src, int dst, std::uint64_t seq, std::size_t payload = 0) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.seq = seq;
+  p.payload.resize(payload);
+  return p;
+}
+
+TEST(Fabric, DeliversPacket) {
+  Fabric f(2, LatencyModel::deterministic(), 1);
+  f.send(make(0, 1, 7));
+  auto p = f.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->src, 0);
+  EXPECT_EQ(p->seq, 7u);
+}
+
+TEST(Fabric, ZeroJitterPreservesSameSizeOrder) {
+  Fabric f(2, LatencyModel::deterministic(), 1);
+  for (std::uint64_t i = 1; i <= 50; ++i) f.send(make(0, 1, i));
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    auto p = f.endpoint(1).inbox().pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+}
+
+TEST(Fabric, JitterReordersIndependentPackets) {
+  // With heavy jitter relative to base latency, a burst should arrive out of
+  // send order at least once.
+  LatencyModel m;
+  m.base = std::chrono::nanoseconds(1000);
+  m.per_byte = std::chrono::nanoseconds(0);
+  m.jitter = std::chrono::nanoseconds(500'000);
+  Fabric f(2, m, 99);
+  constexpr int kN = 64;
+  for (std::uint64_t i = 1; i <= kN; ++i) f.send(make(0, 1, i));
+  bool reordered = false;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < kN; ++i) {
+    auto p = f.endpoint(1).inbox().pop();
+    ASSERT_TRUE(p.has_value());
+    if (p->seq < prev) reordered = true;
+    prev = p->seq;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Fabric, LargerPayloadTakesLonger) {
+  LatencyModel m = LatencyModel::deterministic(std::chrono::nanoseconds(1000),
+                                               std::chrono::nanoseconds(500));
+  Fabric f(2, m, 1);
+  // Send the big packet first; the small one should overtake it.
+  f.send(make(0, 1, 1, 64 * 1024));
+  f.send(make(0, 1, 2, 0));
+  auto first = f.endpoint(1).inbox().pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, 2u);
+}
+
+TEST(Fabric, KillDropsQueuedAndInFlight) {
+  Fabric f(2, LatencyModel::deterministic(std::chrono::microseconds(2000)), 1);
+  f.send(make(0, 1, 1));
+  f.kill(1);
+  f.send(make(0, 1, 2));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(f.endpoint(1).inbox().poisoned());
+  EXPECT_FALSE(f.endpoint(1).alive());
+  auto stats = f.stats();
+  EXPECT_GE(stats.packets_dropped_dead, 1u);
+}
+
+TEST(Fabric, ReviveRestoresDelivery) {
+  Fabric f(2, LatencyModel::deterministic(), 1);
+  f.kill(1);
+  std::this_thread::sleep_for(5ms);
+  f.revive(1);
+  f.send(make(0, 1, 3));
+  auto p = f.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->seq, 3u);
+  EXPECT_TRUE(f.endpoint(1).alive());
+}
+
+TEST(Fabric, StatsCountTraffic) {
+  Fabric f(3, LatencyModel::deterministic(), 1);
+  f.send(make(0, 1, 1, 100));
+  f.send(make(0, 2, 1, 100));
+  (void)f.endpoint(1).inbox().pop();
+  (void)f.endpoint(2).inbox().pop();
+  auto stats = f.stats();
+  EXPECT_EQ(stats.packets_sent, 2u);
+  EXPECT_EQ(stats.packets_delivered, 2u);
+  EXPECT_GT(stats.bytes_sent, 200u);
+}
+
+TEST(Fabric, ShutdownPoisonsEndpoints) {
+  Fabric f(2, LatencyModel::deterministic(), 1);
+  f.shutdown();
+  EXPECT_FALSE(f.endpoint(0).inbox().pop().has_value());
+  f.shutdown();  // idempotent
+}
+
+TEST(Fabric, SendAfterShutdownIsDropped) {
+  Fabric f(2, LatencyModel::deterministic(), 1);
+  f.shutdown();
+  f.send(make(0, 1, 1));  // must not crash
+}
+
+TEST(Fabric, WireSizeIncludesHeaderAndSections) {
+  Packet p = make(0, 1, 1, 10);
+  p.meta.resize(6);
+  EXPECT_EQ(p.wire_size(), 30u + 16u);
+}
+
+}  // namespace
+}  // namespace windar::net

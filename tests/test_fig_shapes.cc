@@ -1,0 +1,80 @@
+// Regression guards for the paper's headline result shapes, on scaled-down
+// workloads.  Only count-based metrics are asserted (timing orderings are
+// checked by the benches, not the suite, to keep CI deterministic).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "npb/driver.h"
+#include "windar/runtime.h"
+
+namespace windar::ft {
+namespace {
+
+Metrics run_app_metrics(npb::App app, int n, ProtocolKind proto) {
+  npb::Params p = npb::make_params(app, n, /*scale=*/0.25);
+  p.checkpoint_every = 4;
+  JobConfig cfg;
+  cfg.n = n;
+  cfg.protocol = proto;
+  cfg.latency = net::LatencyModel::turbulent();
+  auto result = run_job(cfg, [&](Ctx& ctx) { (void)npb::run_app(ctx, p, &ctx); });
+  return result.total;
+}
+
+TEST(FigShapes, TdiPiggybackIsExactlyNEverywhere) {
+  for (auto app : {npb::App::kLU, npb::App::kBT, npb::App::kSP}) {
+    for (int n : {4, 8}) {
+      const Metrics m = run_app_metrics(app, n, ProtocolKind::kTdi);
+      EXPECT_DOUBLE_EQ(m.avg_piggyback_idents(), n)
+          << to_string(app) << " n=" << n;
+    }
+  }
+}
+
+TEST(FigShapes, BaselinesExceedTdi) {
+  // Paper Fig. 6: TAG and TEL piggyback "remarkably" more than TDI.
+  for (auto app : {npb::App::kLU, npb::App::kSP}) {
+    const Metrics tdi = run_app_metrics(app, 8, ProtocolKind::kTdi);
+    const Metrics tag = run_app_metrics(app, 8, ProtocolKind::kTag);
+    const Metrics tel = run_app_metrics(app, 8, ProtocolKind::kTel);
+    EXPECT_GT(tag.avg_piggyback_idents(), 2 * tdi.avg_piggyback_idents())
+        << to_string(app);
+    EXPECT_GT(tel.avg_piggyback_idents(), tdi.avg_piggyback_idents())
+        << to_string(app);
+  }
+}
+
+TEST(FigShapes, TagPiggybackGrowsWithScale) {
+  // Paper Fig. 6: determinant protocols grow super-linearly with scale;
+  // TDI is exactly linear (the vector).
+  const Metrics tag4 = run_app_metrics(npb::App::kLU, 4, ProtocolKind::kTag);
+  const Metrics tag8 = run_app_metrics(npb::App::kLU, 8, ProtocolKind::kTag);
+  EXPECT_GT(tag8.avg_piggyback_idents(),
+            1.5 * tag4.avg_piggyback_idents());
+}
+
+TEST(FigShapes, PesPiggybacksNothingButTalksToLogger) {
+  const Metrics pes = run_app_metrics(npb::App::kSP, 4, ProtocolKind::kPes);
+  EXPECT_EQ(pes.piggyback_idents, 0u);
+  EXPECT_GT(pes.control_msgs, 0u);
+}
+
+TEST(FigShapes, MessageFrequencyProfilesMatchPaper) {
+  // LU must send the most messages per rank, BT the fewest with the
+  // biggest payloads (paper §IV).
+  const Metrics lu = run_app_metrics(npb::App::kLU, 4, ProtocolKind::kTdi);
+  const Metrics bt = run_app_metrics(npb::App::kBT, 4, ProtocolKind::kTdi);
+  const Metrics sp = run_app_metrics(npb::App::kSP, 4, ProtocolKind::kTdi);
+  EXPECT_GT(lu.app_sent, sp.app_sent);
+  EXPECT_GT(sp.app_sent, bt.app_sent);
+  const auto bytes_per = [](const Metrics& m) {
+    return static_cast<double>(m.payload_bytes) /
+           static_cast<double>(m.app_sent);
+  };
+  EXPECT_GT(bytes_per(bt), bytes_per(sp));
+  EXPECT_GT(bytes_per(sp), bytes_per(lu));
+}
+
+}  // namespace
+}  // namespace windar::ft

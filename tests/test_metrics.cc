@@ -1,0 +1,67 @@
+// Unit tests for overhead accounting.
+#include <gtest/gtest.h>
+
+#include "windar/metrics.h"
+
+namespace windar::ft {
+namespace {
+
+TEST(Metrics, AveragesGuardDivisionByZero) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.avg_piggyback_idents(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_track_us(), 0.0);
+}
+
+TEST(Metrics, AveragesComputed) {
+  Metrics m;
+  m.app_sent = 10;
+  m.piggyback_idents = 40;
+  m.app_delivered = 10;
+  m.track_send_ns = 10'000;
+  m.track_deliver_ns = 10'000;
+  EXPECT_DOUBLE_EQ(m.avg_piggyback_idents(), 4.0);
+  EXPECT_DOUBLE_EQ(m.avg_track_us(), 1.0);  // 20 us over 20 events
+}
+
+TEST(Metrics, MergeSumsCountersAndMaxesPeaks) {
+  Metrics a, b;
+  a.app_sent = 1;
+  a.log_peak_bytes = 100;
+  a.checkpoints = 2;
+  b.app_sent = 2;
+  b.log_peak_bytes = 50;
+  b.recoveries = 1;
+  b.send_block_ns = 7;
+  a.merge(b);
+  EXPECT_EQ(a.app_sent, 3u);
+  EXPECT_EQ(a.log_peak_bytes, 100u);  // max, not sum
+  EXPECT_EQ(a.checkpoints, 2u);
+  EXPECT_EQ(a.recoveries, 1u);
+  EXPECT_EQ(a.send_block_ns, 7);
+}
+
+TEST(Metrics, MergeIsCommutativeOnCounts) {
+  Metrics a, b;
+  a.app_sent = 3;
+  a.dup_dropped = 1;
+  b.app_sent = 4;
+  b.dup_dropped = 2;
+  Metrics ab = a;
+  ab.merge(b);
+  Metrics ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.app_sent, ba.app_sent);
+  EXPECT_EQ(ab.dup_dropped, ba.dup_dropped);
+}
+
+TEST(Metrics, SummaryContainsKeyFields) {
+  Metrics m;
+  m.app_sent = 5;
+  m.recoveries = 2;
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("sent=5"), std::string::npos);
+  EXPECT_NE(s.find("recov=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace windar::ft

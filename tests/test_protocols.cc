@@ -1,0 +1,475 @@
+// Unit tests for the three dependency-tracking protocols in isolation:
+// piggyback construction, merge semantics, delivery gates, replay, GC, and
+// checkpoint round-trips.  These drive the LoggingProtocol interface directly
+// (no fabric), reproducing the paper's Fig. 1 / Fig. 2 scenarios.
+#include <gtest/gtest.h>
+
+#include "windar/pes_protocol.h"
+#include "windar/tag_protocol.h"
+#include "windar/tdi_protocol.h"
+#include "windar/tel_protocol.h"
+
+namespace windar::ft {
+namespace {
+
+QueuedMsg queued(int src, SeqNo idx, util::Bytes meta) {
+  QueuedMsg m;
+  m.src = src;
+  m.send_index = idx;
+  m.meta = std::move(meta);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// TDI
+// ---------------------------------------------------------------------------
+
+TEST(Tdi, PiggybackIsVectorOfN) {
+  TdiProtocol p(0, 4);
+  Piggyback pb = p.on_send(1, 1);
+  EXPECT_EQ(pb.idents, 4u);
+  util::ByteReader r(pb.blob);
+  EXPECT_EQ(r.u32_vec(), (std::vector<SeqNo>{0, 0, 0, 0}));
+}
+
+TEST(Tdi, DeliverAdvancesOwnIntervalAndMerges) {
+  TdiProtocol receiver(1, 4);
+  // Sender 2 has delivered 3 messages and transitively depends on P3's 2nd
+  // interval.
+  TdiProtocol sender(2, 4);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 0, 3, 2});
+  receiver.on_deliver(2, 1, /*deliver_seq=*/1, w.view());
+  EXPECT_EQ(receiver.depend_interval(), (std::vector<SeqNo>{0, 1, 3, 2}));
+}
+
+TEST(Tdi, MergeIsElementwiseMax) {
+  TdiProtocol p(0, 3);
+  util::ByteWriter w1;
+  w1.u32_vec(std::vector<SeqNo>{0, 5, 1});
+  p.on_deliver(1, 1, 1, w1.view());
+  util::ByteWriter w2;
+  w2.u32_vec(std::vector<SeqNo>{0, 3, 4});
+  p.on_deliver(2, 1, 2, w2.view());
+  EXPECT_EQ(p.depend_interval(), (std::vector<SeqNo>{2, 5, 4}));
+}
+
+TEST(Tdi, GateBlocksUntilEnoughDeliveries) {
+  // Paper §III.A: m5 depends on 2 prior deliveries at P1; m0/m2 depend on 0.
+  TdiProtocol p(1, 4);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 2, 2, 1});  // m5's piggyback
+  QueuedMsg m5 = queued(2, 1, w.take());
+  EXPECT_FALSE(p.deliverable(m5, /*delivered_total=*/0));
+  EXPECT_FALSE(p.deliverable(m5, 1));
+  EXPECT_TRUE(p.deliverable(m5, 2));
+
+  util::ByteWriter w0;
+  w0.u32_vec(std::vector<SeqNo>{0, 0, 0, 0});  // m0/m2: no dependency on P1
+  QueuedMsg m0 = queued(0, 1, w0.take());
+  EXPECT_TRUE(p.deliverable(m0, 0));  // deliverable immediately, any order
+}
+
+TEST(Tdi, SaveRestoreRoundTrip) {
+  TdiProtocol p(0, 3);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 7, 2});
+  p.on_deliver(1, 1, 1, w.view());
+  util::ByteWriter saved;
+  p.save(saved);
+  TdiProtocol q(0, 3);
+  util::ByteReader r(saved.view());
+  q.restore(r);
+  EXPECT_EQ(q.depend_interval(), p.depend_interval());
+}
+
+TEST(Tdi, PiggybackedElementReadsWithoutFullParse) {
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{10, 20, 30});
+  EXPECT_EQ(TdiProtocol::piggybacked_element(w.view(), 0), 10u);
+  EXPECT_EQ(TdiProtocol::piggybacked_element(w.view(), 2), 30u);
+}
+
+TEST(Tdi, NoGatherNeeded) {
+  TdiProtocol p(0, 2);
+  EXPECT_FALSE(p.needs_determinant_gather());
+  EXPECT_FALSE(p.uses_event_logger());
+}
+
+// ---------------------------------------------------------------------------
+// TDI sparse encoding (extension)
+// ---------------------------------------------------------------------------
+
+TEST(TdiSparse, EmptyVectorPiggybacksNothing) {
+  TdiProtocol p(0, 8, TdiProtocol::Encoding::kSparse);
+  Piggyback pb = p.on_send(1, 1);
+  EXPECT_EQ(pb.idents, 0u);  // all-zero vector: zero pairs
+  EXPECT_EQ(pb.blob.size(), 4u);
+}
+
+TEST(TdiSparse, PairsCountTwoIdentifiersEach) {
+  TdiProtocol p(1, 8, TdiProtocol::Encoding::kSparse);
+  TdiProtocol sender(2, 8, TdiProtocol::Encoding::kSparse);
+  // Make sender's vector have 2 non-zero entries, then learn it.
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 0, 3, 0, 1, 0, 0, 0});
+  p.on_deliver(2, 1, 1, w.view());
+  // p now has entries for self(1), 2 and 4 -> 3 pairs = 6 identifiers.
+  EXPECT_EQ(p.on_send(3, 1).idents, 6u);
+}
+
+TEST(TdiSparse, DenseAndSparseDecodeIdentically) {
+  TdiProtocol dense(0, 6, TdiProtocol::Encoding::kDense);
+  TdiProtocol sparse(0, 6, TdiProtocol::Encoding::kSparse);
+  // Drive both through identical deliveries.
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 4, 0, 0, 0, 0});
+  dense.on_deliver(1, 1, 1, w.view());
+  sparse.on_deliver(1, 1, 1, w.view());
+  EXPECT_EQ(dense.depend_interval(), sparse.depend_interval());
+  // Their piggybacks decode to the same dense vector.
+  const auto pd = dense.on_send(2, 1);
+  const auto ps = sparse.on_send(2, 1);
+  EXPECT_EQ(TdiProtocol::decode(pd.blob, 6), TdiProtocol::decode(ps.blob, 6));
+  EXPECT_LT(ps.blob.size(), pd.blob.size());  // sparse wins here
+}
+
+TEST(TdiSparse, PiggybackedElementFindsSparseEntries) {
+  TdiProtocol sparse(2, 5, TdiProtocol::Encoding::kSparse);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 7, 0, 0, 3});
+  sparse.on_deliver(1, 1, 1, w.view());
+  const auto pb = sparse.on_send(0, 1);
+  EXPECT_EQ(TdiProtocol::piggybacked_element(pb.blob, 1), 7u);
+  EXPECT_EQ(TdiProtocol::piggybacked_element(pb.blob, 2), 1u);  // self seq
+  EXPECT_EQ(TdiProtocol::piggybacked_element(pb.blob, 3), 0u);  // absent
+  EXPECT_EQ(TdiProtocol::piggybacked_element(pb.blob, 4), 3u);
+}
+
+TEST(TdiSparse, GateWorksAcrossEncodings) {
+  TdiProtocol receiver(1, 4, TdiProtocol::Encoding::kSparse);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 2, 0, 0});
+  QueuedMsg m = queued(2, 1, w.take());
+  EXPECT_FALSE(receiver.deliverable(m, 1));
+  EXPECT_TRUE(receiver.deliverable(m, 2));
+}
+
+TEST(TdiSparse, FactoryProducesSparseKind) {
+  auto p = make_protocol(ProtocolKind::kTdiSparse, 0, 3);
+  EXPECT_EQ(p->kind(), ProtocolKind::kTdiSparse);
+}
+
+// ---------------------------------------------------------------------------
+// TAG
+// ---------------------------------------------------------------------------
+
+TEST(Tag, FirstSendCarriesNothing) {
+  TagProtocol p(0, 4);
+  Piggyback pb = p.on_send(1, 1);
+  EXPECT_EQ(pb.idents, 0u);  // no determinants known yet
+}
+
+TEST(Tag, DeliveryCreatesDeterminantThenPiggybacks) {
+  TagProtocol p(1, 4);
+  // Deliver a message from 0 carrying no determinants.
+  util::ByteWriter empty;
+  empty.u32(0);
+  p.on_deliver(0, 1, 1, empty.view());
+  EXPECT_EQ(p.tracked_entries(), 1u);
+  // Next send to 2 piggybacks our new determinant (4 identifiers).
+  Piggyback pb = p.on_send(2, 1);
+  EXPECT_EQ(pb.idents, kIdentsPerDeterminant);
+  // A second send to the same destination carries nothing new (incremental).
+  Piggyback pb2 = p.on_send(2, 2);
+  EXPECT_EQ(pb2.idents, 0u);
+  // But a send to a different destination still carries it.
+  Piggyback pb3 = p.on_send(3, 1);
+  EXPECT_EQ(pb3.idents, kIdentsPerDeterminant);
+}
+
+TEST(Tag, LearnedDeterminantsPropagateTransitively) {
+  TagProtocol p1(1, 4);
+  util::ByteWriter e;
+  e.u32(0);
+  p1.on_deliver(0, 1, 1, e.view());
+  Piggyback to2 = p1.on_send(2, 1);
+
+  TagProtocol p2(2, 4);
+  p2.on_deliver(1, 1, 1, to2.blob);
+  // p2 now holds p1's delivery determinant AND created its own: a send to 3
+  // carries both.
+  Piggyback to3 = p2.on_send(3, 1);
+  EXPECT_EQ(to3.idents, 2 * kIdentsPerDeterminant);
+}
+
+TEST(Tag, DeliveryFromPeerMarksPeerAsKnowing) {
+  TagProtocol p2(2, 4);
+  // p2 receives a determinant FROM rank 1; it must not echo it back to 1.
+  util::ByteWriter w;
+  w.u32(1);
+  Determinant d{0, 1, 1, 1};
+  d.write(w);
+  p2.on_deliver(1, 1, 1, w.view());
+  Piggyback back_to_1 = p2.on_send(1, 1);
+  // Only p2's own new delivery determinant goes back, not d.
+  EXPECT_EQ(back_to_1.idents, kIdentsPerDeterminant);
+}
+
+TEST(Tag, ReplayGateEnforcesRecordedOrder) {
+  TagProtocol p(1, 4);
+  p.begin_replay(/*delivered_total=*/0);
+  const Determinant d1{0, 1, 1, 1};  // (src 0, idx 1) was delivery #1
+  const Determinant d2{2, 1, 1, 2};  // (src 2, idx 1) was delivery #2
+  std::vector<Determinant> ds{d2, d1};
+  p.add_replay_determinants(ds);
+  EXPECT_TRUE(p.replay_active());
+
+  util::ByteWriter empty;
+  empty.u32(0);
+  QueuedMsg from2 = queued(2, 1, empty.view());
+  QueuedMsg from0 = queued(0, 1, empty.view());
+  // Even if the message from 2 arrives first, it must wait for delivery #1.
+  EXPECT_FALSE(p.deliverable(from2, 0));
+  EXPECT_TRUE(p.deliverable(from0, 0));
+  p.on_deliver(0, 1, 1, empty.view());
+  EXPECT_TRUE(p.deliverable(from2, 1));
+  p.on_deliver(2, 1, 2, empty.view());
+  EXPECT_FALSE(p.replay_active());  // history fully replayed
+}
+
+TEST(Tag, UnrecordedDeliveriesWaitForRecordedOnes) {
+  TagProtocol p(1, 4);
+  p.begin_replay(0);
+  const Determinant d{0, 1, 1, 1};
+  std::vector<Determinant> ds{d};
+  p.add_replay_determinants(ds);
+  util::ByteWriter empty;
+  empty.u32(0);
+  // (src 3, idx 1) has no determinant: deliverable only after all recorded.
+  QueuedMsg unrecorded = queued(3, 1, empty.view());
+  EXPECT_FALSE(p.deliverable(unrecorded, 0));
+  p.on_deliver(0, 1, 1, empty.view());
+  EXPECT_TRUE(p.deliverable(unrecorded, 1));
+}
+
+TEST(Tag, DeterminantsForPeerFiltersByReceiver) {
+  TagProtocol p(0, 4);
+  util::ByteWriter w;
+  w.u32(2);
+  Determinant a{1, 2, 1, 1};
+  Determinant b{1, 3, 1, 1};
+  a.write(w);
+  b.write(w);
+  p.on_deliver(1, 1, 1, w.view());
+  auto for2 = p.determinants_for(2);
+  ASSERT_EQ(for2.size(), 1u);
+  EXPECT_EQ(for2[0], a);
+  // Our own delivery determinant has receiver 0.
+  EXPECT_EQ(p.determinants_for(0).size(), 1u);
+}
+
+TEST(Tag, PeerCheckpointReleasesDeterminants) {
+  TagProtocol p(0, 4);
+  util::ByteWriter w;
+  w.u32(2);
+  Determinant a{1, 2, 1, 1};  // peer 2's delivery #1
+  Determinant b{1, 2, 2, 5};  // peer 2's delivery #5
+  a.write(w);
+  b.write(w);
+  p.on_deliver(1, 1, 1, w.view());
+  EXPECT_EQ(p.tracked_entries(), 3u);  // a, b, own
+  p.on_peer_checkpoint(2, 3);          // releases a (seq 1 <= 3), keeps b
+  EXPECT_EQ(p.tracked_entries(), 2u);
+  EXPECT_EQ(p.determinants_for(2).size(), 1u);
+}
+
+TEST(Tag, SaveRestorePreservesKnowledge) {
+  TagProtocol p(1, 4);
+  util::ByteWriter empty;
+  empty.u32(0);
+  p.on_deliver(0, 1, 1, empty.view());
+  (void)p.on_send(2, 1);  // marks det as known by 2
+  util::ByteWriter saved;
+  p.save(saved);
+
+  TagProtocol q(1, 4);
+  util::ByteReader r(saved.view());
+  q.restore(r);
+  EXPECT_EQ(q.tracked_entries(), 1u);
+  // Restored knowledge: still nothing new for 2, but 3 gets it.
+  EXPECT_EQ(q.on_send(2, 2).idents, 0u);
+  EXPECT_EQ(q.on_send(3, 1).idents, kIdentsPerDeterminant);
+}
+
+// ---------------------------------------------------------------------------
+// TEL
+// ---------------------------------------------------------------------------
+
+TEST(Tel, PiggybackIncludesWatermarkVector) {
+  TelProtocol p(0, 4);
+  Piggyback pb = p.on_send(1, 1);
+  EXPECT_EQ(pb.idents, 4u);  // n watermarks, no determinants yet
+}
+
+TEST(Tel, UnstableDeterminantsTravelUntilAck) {
+  TelProtocol p(1, 4);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 0, 0, 0});
+  w.u32(0);
+  p.on_deliver(0, 1, 1, w.view());
+  // Determinant unstable: piggybacked.
+  EXPECT_EQ(p.on_send(2, 1).idents, 4u + kIdentsPerDeterminant);
+  // Logger acks stability; piggyback shrinks back to the watermark vector.
+  p.on_logger_ack(1);
+  EXPECT_EQ(p.on_send(2, 2).idents, 4u);
+  EXPECT_EQ(p.tracked_entries(), 0u);
+}
+
+TEST(Tel, TakeUnloggedDrainsOnce) {
+  TelProtocol p(1, 4);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 0, 0, 0});
+  w.u32(0);
+  p.on_deliver(0, 1, 1, w.view());
+  p.on_deliver(0, 2, 2, w.view());
+  auto batch = p.take_unlogged(10);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(p.take_unlogged(10).empty());  // already flushed
+  p.on_deliver(0, 3, 3, w.view());
+  EXPECT_EQ(p.take_unlogged(10).size(), 1u);  // only the new one
+}
+
+TEST(Tel, TakeUnloggedRespectsBatchLimit) {
+  TelProtocol p(0, 2);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 0});
+  w.u32(0);
+  for (SeqNo i = 1; i <= 5; ++i) p.on_deliver(1, i, i, w.view());
+  EXPECT_EQ(p.take_unlogged(3).size(), 3u);
+  EXPECT_EQ(p.take_unlogged(3).size(), 2u);
+}
+
+TEST(Tel, WatermarkVectorPropagatesStability) {
+  // p0 learns via piggyback that p1's determinants up to 5 are stable and
+  // drops its copies.
+  TelProtocol p0(0, 3);
+  util::ByteWriter carry;
+  carry.u32_vec(std::vector<SeqNo>{0, 0, 0});
+  carry.u32(1);
+  Determinant d{2, 1, 1, 4};  // p1's delivery #4
+  d.write(carry);
+  p0.on_deliver(1, 1, 1, carry.view());
+  EXPECT_EQ(p0.determinants_for(1).size(), 1u);
+
+  util::ByteWriter stable;
+  stable.u32_vec(std::vector<SeqNo>{0, 5, 0});  // p1 stable up to 5
+  stable.u32(0);
+  p0.on_deliver(2, 1, 2, stable.view());
+  EXPECT_TRUE(p0.determinants_for(1).empty());
+  EXPECT_EQ(p0.stable_watermark(1), 5u);
+}
+
+TEST(Tel, ReplayGateSameAsTag) {
+  TelProtocol p(1, 3);
+  p.begin_replay(0);
+  const Determinant d{0, 1, 1, 1};
+  std::vector<Determinant> ds{d};
+  p.add_replay_determinants(ds);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 0, 0});
+  w.u32(0);
+  QueuedMsg recorded = queued(0, 1, w.view());
+  QueuedMsg other = queued(2, 1, w.view());
+  EXPECT_TRUE(p.deliverable(recorded, 0));
+  EXPECT_FALSE(p.deliverable(other, 0));
+}
+
+TEST(Tel, SaveRestoreRoundTrip) {
+  TelProtocol p(1, 3);
+  util::ByteWriter w;
+  w.u32_vec(std::vector<SeqNo>{0, 0, 0});
+  w.u32(0);
+  p.on_deliver(0, 1, 1, w.view());
+  p.on_logger_ack(0);  // no-op, keeps det unstable
+  util::ByteWriter saved;
+  p.save(saved);
+  TelProtocol q(1, 3);
+  util::ByteReader r(saved.view());
+  q.restore(r);
+  EXPECT_EQ(q.tracked_entries(), 1u);
+  EXPECT_EQ(q.determinants_for(1).size(), 1u);
+}
+
+TEST(Tel, UsesEventLogger) {
+  TelProtocol p(0, 2);
+  EXPECT_TRUE(p.uses_event_logger());
+  EXPECT_TRUE(p.needs_determinant_gather());
+}
+
+// ---------------------------------------------------------------------------
+// PES (pessimistic synchronous logging baseline)
+// ---------------------------------------------------------------------------
+
+TEST(Pes, PiggybacksNothing) {
+  PesProtocol p(0, 8);
+  EXPECT_EQ(p.on_send(1, 1).idents, 0u);
+  EXPECT_TRUE(p.on_send(2, 1).blob.empty());
+}
+
+TEST(Pes, DeliveryHeldUntilStable) {
+  PesProtocol p(1, 4);
+  EXPECT_TRUE(p.pessimistic());
+  p.on_deliver(0, 1, 1, {});
+  EXPECT_FALSE(p.stable_upto(1));
+  auto batch = p.take_unlogged(10);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].deliver_seq, 1u);
+  p.on_logger_ack(1);
+  EXPECT_TRUE(p.stable_upto(1));
+  EXPECT_EQ(p.tracked_entries(), 0u);  // pending drained
+}
+
+TEST(Pes, SaveRestoreRoundTrip) {
+  PesProtocol p(1, 4);
+  p.on_deliver(0, 1, 1, {});
+  p.on_deliver(2, 1, 2, {});
+  p.on_logger_ack(1);
+  util::ByteWriter saved;
+  p.save(saved);
+  PesProtocol q(1, 4);
+  util::ByteReader r(saved.view());
+  q.restore(r);
+  EXPECT_TRUE(q.stable_upto(1));
+  EXPECT_FALSE(q.stable_upto(2));
+  EXPECT_EQ(q.tracked_entries(), 1u);
+}
+
+TEST(Pes, ReplayGateSameAsOtherPwdProtocols) {
+  PesProtocol p(1, 3);
+  p.begin_replay(0);
+  const Determinant d{0, 1, 1, 1};
+  std::vector<Determinant> ds{d};
+  p.add_replay_determinants(ds);
+  QueuedMsg recorded = queued(0, 1, {});
+  QueuedMsg other = queued(2, 1, {});
+  EXPECT_TRUE(p.deliverable(recorded, 0));
+  EXPECT_FALSE(p.deliverable(other, 0));
+}
+
+// ---------------------------------------------------------------------------
+// cross-protocol: factory
+// ---------------------------------------------------------------------------
+
+TEST(Factory, MakesAllKinds) {
+  EXPECT_EQ(make_protocol(ProtocolKind::kTdi, 0, 2)->kind(), ProtocolKind::kTdi);
+  EXPECT_EQ(make_protocol(ProtocolKind::kTag, 0, 2)->kind(), ProtocolKind::kTag);
+  EXPECT_EQ(make_protocol(ProtocolKind::kTel, 0, 2)->kind(), ProtocolKind::kTel);
+  EXPECT_EQ(make_protocol(ProtocolKind::kTdiSparse, 0, 2)->kind(),
+            ProtocolKind::kTdiSparse);
+  EXPECT_EQ(make_protocol(ProtocolKind::kPes, 0, 2)->kind(),
+            ProtocolKind::kPes);
+}
+
+}  // namespace
+}  // namespace windar::ft

@@ -1,0 +1,123 @@
+// Unit tests for the strict-PWD replay gate shared by TAG and TEL.
+#include <gtest/gtest.h>
+
+#include "windar/pwd_replay.h"
+
+namespace windar::ft {
+namespace {
+
+TEST(PwdReplay, InactiveAdmitsEverything) {
+  PwdReplayGate g;
+  EXPECT_FALSE(g.active());
+  EXPECT_TRUE(g.deliverable(3, 7, 0));
+}
+
+TEST(PwdReplay, EnforcesExactOrder) {
+  PwdReplayGate g;
+  g.begin(0);
+  g.add({1, 0, 1, 1}, 0);  // (src 1, idx 1) was delivery #1
+  g.add({2, 0, 1, 2}, 0);  // (src 2, idx 1) was delivery #2
+  EXPECT_TRUE(g.deliverable(1, 1, 0));
+  EXPECT_FALSE(g.deliverable(2, 1, 0));
+  g.on_deliver(1);
+  EXPECT_TRUE(g.deliverable(2, 1, 1));
+  EXPECT_FALSE(g.deliverable(1, 1, 1));  // already past its slot
+}
+
+TEST(PwdReplay, IgnoresForeignReceivers) {
+  PwdReplayGate g;
+  g.begin(0);
+  g.add({1, 5, 1, 1}, 0);  // receiver 5, not us
+  EXPECT_EQ(g.pending(), 0u);
+  EXPECT_TRUE(g.deliverable(9, 9, 0));  // no recorded history -> free
+}
+
+TEST(PwdReplay, IgnoresPreCheckpointDeterminants) {
+  PwdReplayGate g;
+  g.begin(10);
+  g.add({1, 0, 3, 7}, 0);  // deliver_seq 7 <= base 10: already covered
+  EXPECT_EQ(g.pending(), 0u);
+  EXPECT_TRUE(g.deliverable(4, 4, 10));
+}
+
+TEST(PwdReplay, UnrecordedWaitForAllRecorded) {
+  PwdReplayGate g;
+  g.begin(0);
+  g.add({2, 0, 1, 1}, 0);
+  g.add({1, 0, 1, 2}, 0);
+  // Unrecorded message: must wait until the contiguous recorded prefix
+  // (deliveries 1-2) has been replayed.
+  EXPECT_FALSE(g.deliverable(3, 1, 0));
+  EXPECT_FALSE(g.deliverable(3, 1, 1));
+  EXPECT_TRUE(g.deliverable(3, 1, 2));
+}
+
+TEST(PwdReplay, DisarmsAfterHistoryReplayed) {
+  PwdReplayGate g;
+  g.begin(0);
+  g.add({1, 0, 1, 1}, 0);
+  g.on_deliver(0);
+  EXPECT_TRUE(g.active());
+  g.on_deliver(1);
+  EXPECT_FALSE(g.active());
+  EXPECT_EQ(g.pending(), 0u);
+}
+
+TEST(PwdReplay, DuplicateAddIsIdempotent) {
+  PwdReplayGate g;
+  g.begin(0);
+  g.add({1, 0, 1, 1}, 0);
+  g.add({1, 0, 1, 1}, 0);
+  EXPECT_EQ(g.pending(), 1u);
+}
+
+TEST(PwdReplay, GapTruncatesRecordedHistory) {
+  // Determinants 1 and 3 present, 2 lost (multi-failure scenario): only the
+  // contiguous prefix {1} is enforced; everything else is free afterwards.
+  PwdReplayGate g;
+  g.begin(0);
+  g.add({1, 0, 1, 1}, 0);
+  g.add({2, 0, 1, 3}, 0);  // recorded as delivery #3, but #2 is missing
+  EXPECT_EQ(g.contiguous_end(), 1u);
+  EXPECT_TRUE(g.deliverable(1, 1, 0));    // recorded #1
+  EXPECT_FALSE(g.deliverable(2, 1, 0));   // beyond the gap: not yet
+  EXPECT_FALSE(g.deliverable(9, 9, 0));   // unrecorded: not yet
+  g.on_deliver(1);
+  EXPECT_FALSE(g.active());               // prefix replayed -> disarmed
+  EXPECT_TRUE(g.deliverable(2, 1, 1));    // post-gap: arrival order
+  EXPECT_TRUE(g.deliverable(9, 9, 1));
+}
+
+TEST(PwdReplay, GapFillExtendsPrefix) {
+  PwdReplayGate g;
+  g.begin(0);
+  g.add({1, 0, 1, 1}, 0);
+  g.add({3, 0, 1, 3}, 0);
+  EXPECT_EQ(g.contiguous_end(), 1u);
+  g.add({2, 0, 1, 2}, 0);  // the missing determinant arrives later
+  EXPECT_EQ(g.contiguous_end(), 3u);
+  EXPECT_FALSE(g.deliverable(3, 1, 0));
+  EXPECT_TRUE(g.deliverable(1, 1, 0));
+}
+
+TEST(PwdReplay, AllRecordsBeyondGapActLikeUnrecorded) {
+  PwdReplayGate g;
+  g.begin(5);
+  g.add({1, 0, 1, 8}, 0);  // base is 5; determinant 6 and 7 missing
+  EXPECT_EQ(g.contiguous_end(), 5u);
+  EXPECT_TRUE(g.deliverable(1, 1, 5));  // free immediately (prefix empty)
+}
+
+TEST(PwdReplay, BeginResetsPriorState) {
+  PwdReplayGate g;
+  g.begin(0);
+  g.add({1, 0, 1, 5}, 0);
+  g.begin(3);
+  EXPECT_EQ(g.pending(), 0u);
+  EXPECT_TRUE(g.active());
+  g.on_deliver(3);
+  EXPECT_FALSE(g.active());
+}
+
+}  // namespace
+}  // namespace windar::ft

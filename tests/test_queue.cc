@@ -1,0 +1,116 @@
+// Unit tests for the blocking queue used by endpoint inboxes and send paths.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/queue.h"
+
+namespace windar::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BlockingQueue, TryPopEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(5);
+  EXPECT_EQ(q.try_pop(), 5);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, PopUntilTimesOut) {
+  BlockingQueue<int> q;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_until(t0 + 20ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 19ms);
+  EXPECT_FALSE(q.poisoned());
+}
+
+TEST(BlockingQueue, PopWakesOnPush) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    q.push(42);
+  });
+  EXPECT_EQ(q.pop(), 42);
+  producer.join();
+}
+
+TEST(BlockingQueue, PoisonWakesWaiter) {
+  BlockingQueue<int> q;
+  std::thread killer([&] {
+    std::this_thread::sleep_for(10ms);
+    q.poison();
+  });
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.poisoned());
+  killer.join();
+}
+
+TEST(BlockingQueue, PoisonDropsQueuedItems) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.poison();
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueue, PushAfterPoisonIsDropped) {
+  BlockingQueue<int> q;
+  q.poison();
+  q.push(7);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueue, ReviveRearms) {
+  BlockingQueue<int> q;
+  q.poison();
+  q.revive();
+  EXPECT_FALSE(q.poisoned());
+  q.push(9);
+  EXPECT_EQ(q.pop(), 9);
+}
+
+TEST(BlockingQueue, ManyProducersOneConsumer) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  long long sum = 0;
+  for (int i = 0; i < kPerProducer * kProducers; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    sum += *v;
+  }
+  for (auto& t : producers) t.join();
+  const long long total = kPerProducer * kProducers;
+  EXPECT_EQ(sum, total * (total - 1) / 2);
+}
+
+TEST(BlockingQueue, MoveOnlyPayload) {
+  BlockingQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(11));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 11);
+}
+
+}  // namespace
+}  // namespace windar::util

@@ -1,0 +1,126 @@
+// Tests for the plain transport: FIFO restoration over the jittered fabric,
+// matching semantics, and the raw job runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mp/raw_comm.h"
+#include "mp/runtime.h"
+#include "net/fabric.h"
+
+namespace windar::mp {
+namespace {
+
+TEST(RawComm, PairwiseFifoDespiteJitter) {
+  run_raw(
+      2,
+      [](Comm& c) {
+        constexpr int kN = 200;
+        if (c.rank() == 0) {
+          for (int i = 0; i < kN; ++i) send_value(c, 1, 5, i);
+        } else {
+          for (int i = 0; i < kN; ++i) {
+            EXPECT_EQ(recv_value<int>(c, 0, 5), i);
+          }
+        }
+      },
+      net::LatencyModel::turbulent(), 7);
+}
+
+TEST(RawComm, AnySourceReceivesAll) {
+  run_raw(4, [](Comm& c) {
+    if (c.rank() == 0) {
+      long long sum = 0;
+      for (int i = 0; i < 3; ++i) sum += recv_value<int>(c, kAnySource, 1);
+      EXPECT_EQ(sum, 1 + 2 + 3);
+    } else {
+      send_value(c, 0, 1, c.rank());
+    }
+  });
+}
+
+TEST(RawComm, TagFiltering) {
+  run_raw(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      send_value(c, 1, 10, 100);
+      send_value(c, 1, 20, 200);
+    } else {
+      // Ask for tag 20 first even though tag 10 was sent first.
+      EXPECT_EQ(recv_value<int>(c, 0, 20), 200);
+      EXPECT_EQ(recv_value<int>(c, 0, 10), 100);
+    }
+  });
+}
+
+TEST(RawComm, SourceFiltering) {
+  run_raw(3, [](Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_EQ(recv_value<int>(c, 2, kAnyTag), 22);
+      EXPECT_EQ(recv_value<int>(c, 1, kAnyTag), 11);
+    } else {
+      send_value(c, 0, 0, c.rank() * 11);
+    }
+  });
+}
+
+TEST(RawComm, VectorPayloads) {
+  run_raw(2, [](Comm& c) {
+    std::vector<double> v{1.5, 2.5, 3.5};
+    if (c.rank() == 0) {
+      send_vec<double>(c, 1, 3, v);
+    } else {
+      EXPECT_EQ(recv_vec<double>(c, 0, 3), v);
+    }
+  });
+}
+
+TEST(RawComm, MessageStatusFields) {
+  run_raw(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      send_value(c, 1, 42, 7);
+    } else {
+      Message m = c.recv();
+      EXPECT_EQ(m.src, 0);
+      EXPECT_EQ(m.tag, 42);
+      EXPECT_EQ(m.payload.size(), sizeof(int));
+    }
+  });
+}
+
+TEST(RawRuntime, PropagatesRankException) {
+  EXPECT_THROW(run_raw(2,
+                       [](Comm& c) {
+                         if (c.rank() == 1) throw std::runtime_error("boom");
+                         // rank 0 blocks forever; the runtime must still
+                         // unwind it when rank 1 fails.
+                         (void)c.recv(1, 0);
+                       }),
+               std::exception);
+}
+
+TEST(RawRuntime, ReportsTraffic) {
+  auto result = run_raw(2, [](Comm& c) {
+    if (c.rank() == 0) send_value(c, 1, 0, 1);
+    else (void)c.recv();
+  });
+  EXPECT_EQ(result.packets, 1u);
+  EXPECT_GT(result.bytes, 0u);
+  EXPECT_GT(result.wall_ms, 0.0);
+}
+
+TEST(RawRuntime, ManyRanksAllToAll) {
+  constexpr int kN = 8;
+  run_raw(kN, [](Comm& c) {
+    for (int dst = 0; dst < c.size(); ++dst) {
+      if (dst != c.rank()) send_value(c, dst, 9, c.rank());
+    }
+    long long sum = 0;
+    for (int i = 0; i < c.size() - 1; ++i) {
+      sum += recv_value<int>(c, kAnySource, 9);
+    }
+    EXPECT_EQ(sum, kN * (kN - 1) / 2 - c.rank());
+  });
+}
+
+}  // namespace
+}  // namespace windar::mp

@@ -1,0 +1,182 @@
+// Edge-case recovery tests: faults interacting with collectives, blocked
+// senders, rendezvous transfers, and the TEL determinant-gather path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mp/collectives.h"
+#include "windar/runtime.h"
+
+namespace windar::ft {
+namespace {
+
+using mp::recv_value;
+using mp::send_value;
+
+JobConfig base(int n, ProtocolKind proto = ProtocolKind::kTdi,
+               SendMode mode = SendMode::kNonBlocking) {
+  JobConfig c;
+  c.n = n;
+  c.protocol = proto;
+  c.mode = mode;
+  c.latency = net::LatencyModel::turbulent();
+  c.restart_delay_ms = 4;
+  return c;
+}
+
+TEST(RecoveryEdge, FaultDuringAllreduceSeries) {
+  // Collectives are plain logged traffic; killing the tree root mid-series
+  // must not change any reduction result.
+  auto sums = std::make_shared<std::atomic<long long>>(0);
+  JobConfig cfg = base(5);
+  cfg.faults = {{0, 6.0}};
+  run_job(cfg, [sums](Ctx& ctx) {
+    mp::Coll coll(ctx);
+    int start = 0;
+    if (ctx.restored()) {
+      util::ByteReader r(*ctx.restored());
+      start = r.i32();
+      coll.reset_seq(r.u32());
+    }
+    long long acc = 0;
+    for (int round = start; round < 25; ++round) {
+      if (round > 0 && round % 8 == 0) {
+        util::ByteWriter w;
+        w.i32(round);
+        w.u32(coll.seq());
+        ctx.checkpoint(w.view());
+      }
+      const double contrib[1] = {static_cast<double>(ctx.rank() + round)};
+      const auto total = coll.allreduce_sum(contrib);
+      // n*(n-1)/2 + n*round for n = 5
+      EXPECT_DOUBLE_EQ(total[0], 10.0 + 5.0 * round) << "round " << round;
+      acc += static_cast<long long>(total[0]);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    if (ctx.rank() == 1) sums->store(acc);
+  });
+  long long expect = 0;
+  for (int round = 0; round < 25; ++round) expect += 10 + 5 * round;
+  EXPECT_EQ(sums->load(), expect);
+}
+
+TEST(RecoveryEdge, BlockedSenderSurvivesReceiverDeath) {
+  // The Fig. 8 mechanism in isolation: a blocking-mode sender is stalled on
+  // a rendezvous transfer when the receiver dies; the ROLLBACK-driven
+  // resend must eventually complete the send.
+  JobConfig cfg = base(2, ProtocolKind::kTdi, SendMode::kBlocking);
+  cfg.eager_threshold = 256;        // force rendezvous
+  cfg.faults = {{1, 6.0}};
+  auto result = run_job(cfg, [](Ctx& ctx) {
+    std::vector<std::uint8_t> big(32 * 1024, 0xAA);
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 6; ++i) ctx.send(1, 0, big);
+    } else {
+      for (int i = 0; i < 6; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        auto m = ctx.recv(0, 0);
+        ASSERT_EQ(m.payload.size(), big.size());
+      }
+    }
+  });
+  EXPECT_EQ(result.total.recoveries, 1u);
+  EXPECT_GT(result.total.send_block_ns, 0);
+}
+
+TEST(RecoveryEdge, TelGathersStableDeterminantsFromLogger) {
+  // Build a long delivery history, give the logger time to absorb it, then
+  // kill the rank: the replay table must come (mostly) from the TelQuery.
+  JobConfig cfg = base(3, ProtocolKind::kTel);
+  cfg.faults = {{0, 10.0}};
+  auto out = std::make_shared<std::atomic<long long>>(0);
+  run_job(cfg, [out](Ctx& ctx) {
+    if (ctx.rank() == 0) {
+      long long acc = 0;
+      int start = 0;
+      if (ctx.restored()) {
+        util::ByteReader r(*ctx.restored());
+        start = r.i32();
+        acc = r.i64();
+      }
+      for (int i = start; i < 40; ++i) {
+        if (i == 12) {
+          util::ByteWriter w;
+          w.i32(i);
+          w.i64(acc);
+          ctx.checkpoint(w.view());
+        }
+        // Two independent producers, ANY_SOURCE: order matters to the
+        // digest only through the commutative sum.
+        acc += recv_value<int>(ctx) + recv_value<int>(ctx);
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+      out->store(acc);
+    } else {
+      for (int i = 0; i < 40; ++i) {
+        send_value(ctx, 0, 1, ctx.rank() * 100 + i);
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    }
+  });
+  long long expect = 0;
+  for (int i = 0; i < 40; ++i) expect += 100 + i + 200 + i;
+  EXPECT_EQ(out->load(), expect);
+}
+
+TEST(RecoveryEdge, ZeroEagerThresholdStillCompletes) {
+  JobConfig cfg = base(2, ProtocolKind::kTdi, SendMode::kBlocking);
+  cfg.eager_threshold = 0;  // every transfer is rendezvous
+  run_job(cfg, [](Ctx& ctx) {
+    const int peer = 1 - ctx.rank();
+    for (int i = 0; i < 10; ++i) {
+      if (ctx.rank() == 0) {
+        send_value(ctx, peer, 0, i);
+        EXPECT_EQ(recv_value<int>(ctx, peer, 0), i);
+      } else {
+        EXPECT_EQ(recv_value<int>(ctx, peer, 0), i);
+        send_value(ctx, peer, 0, i);
+      }
+    }
+  });
+}
+
+TEST(RecoveryEdge, FaultStormAllProtocols) {
+  // Three staggered faults on three different ranks.
+  for (auto proto : {ProtocolKind::kTdi, ProtocolKind::kTag,
+                     ProtocolKind::kTel}) {
+    auto run = [&](std::vector<FaultEvent> faults) {
+      JobConfig cfg = base(4, proto);
+      cfg.faults = std::move(faults);
+      auto digest = std::make_shared<std::atomic<std::uint64_t>>(0);
+      run_job(cfg, [digest](Ctx& ctx) {
+        const int n = ctx.size();
+        std::uint64_t h = 7 + static_cast<std::uint64_t>(ctx.rank());
+        int start = 0;
+        if (ctx.restored()) {
+          util::ByteReader r(*ctx.restored());
+          start = r.i32();
+          h = r.u64();
+        }
+        for (int i = start; i < 35; ++i) {
+          if (i > 0 && i % 7 == 0) {
+            util::ByteWriter w;
+            w.i32(i);
+            w.u64(h);
+            ctx.checkpoint(w.view());
+          }
+          send_value(ctx, (ctx.rank() + 1) % n, 0, h);
+          h = h * 31 + recv_value<std::uint64_t>(ctx, (ctx.rank() + n - 1) % n, 0);
+          std::this_thread::sleep_for(std::chrono::microseconds(300));
+        }
+        digest->fetch_add(h % 1000003);
+      });
+      return digest->load();
+    };
+    const std::uint64_t clean = run({});
+    const std::uint64_t faulted = run({{1, 5.0}, {3, 9.0}, {2, 14.0}});
+    EXPECT_EQ(clean, faulted) << to_string(proto);
+  }
+}
+
+}  // namespace
+}  // namespace windar::ft

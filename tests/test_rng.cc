@@ -1,0 +1,84 @@
+// Unit tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace windar::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(11);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng base(42);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng base1(42), base2(42);
+  Rng a = base1.split(5);
+  Rng b = base2.split(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace windar::util

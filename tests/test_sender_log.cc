@@ -1,0 +1,105 @@
+// Tests for the sender-based message log.
+#include <gtest/gtest.h>
+
+#include "windar/sender_log.h"
+
+namespace windar::ft {
+namespace {
+
+LogEntry entry(SeqNo idx, std::size_t payload = 4) {
+  LogEntry e;
+  e.send_index = idx;
+  e.tag = 1;
+  e.meta = {1, 2};
+  e.payload.assign(payload, 0xEE);
+  return e;
+}
+
+TEST(SenderLog, AppendAndIterate) {
+  SenderLog log(3);
+  log.append(1, entry(1));
+  log.append(1, entry(2));
+  log.append(2, entry(1));
+  EXPECT_EQ(log.entries(), 3u);
+  EXPECT_EQ(log.entries_for(1), 2u);
+  std::vector<SeqNo> seen;
+  log.for_each_from(1, 0, [&](const LogEntry& e) { seen.push_back(e.send_index); });
+  EXPECT_EQ(seen, (std::vector<SeqNo>{1, 2}));
+}
+
+TEST(SenderLog, ForEachFromSkipsPrefix) {
+  SenderLog log(2);
+  for (SeqNo i = 1; i <= 5; ++i) log.append(0, entry(i));
+  std::vector<SeqNo> seen;
+  log.for_each_from(0, 3, [&](const LogEntry& e) { seen.push_back(e.send_index); });
+  EXPECT_EQ(seen, (std::vector<SeqNo>{4, 5}));
+}
+
+TEST(SenderLog, ReleaseUpto) {
+  SenderLog log(2);
+  for (SeqNo i = 1; i <= 5; ++i) log.append(1, entry(i));
+  const std::size_t before = log.bytes();
+  EXPECT_EQ(log.release_upto(1, 3), 3u);
+  EXPECT_EQ(log.entries(), 2u);
+  EXPECT_LT(log.bytes(), before);
+  // Releasing again is a no-op.
+  EXPECT_EQ(log.release_upto(1, 3), 0u);
+  // Release everything.
+  EXPECT_EQ(log.release_upto(1, 100), 2u);
+  EXPECT_EQ(log.entries(), 0u);
+  EXPECT_EQ(log.bytes(), 0u);
+}
+
+TEST(SenderLog, NonContiguousIndicesAfterRelease) {
+  SenderLog log(1);
+  log.append(0, entry(1));
+  log.append(0, entry(2));
+  log.release_upto(0, 2);
+  log.append(0, entry(3));  // indices keep increasing after release
+  EXPECT_EQ(log.entries(), 1u);
+}
+
+TEST(SenderLog, RejectsNonIncreasingIndices) {
+  SenderLog log(1);
+  log.append(0, entry(2));
+  EXPECT_DEATH(log.append(0, entry(2)), "increase");
+}
+
+TEST(SenderLog, SaveRestoreRoundTrip) {
+  SenderLog log(3);
+  log.append(0, entry(1, 10));
+  log.append(2, entry(1, 20));
+  log.append(2, entry(2, 30));
+  util::ByteWriter w;
+  log.save(w);
+  const util::Bytes blob = w.take();
+
+  SenderLog copy(3);
+  util::ByteReader r(blob);
+  copy.restore(r);
+  EXPECT_EQ(copy.entries(), 3u);
+  EXPECT_EQ(copy.bytes(), log.bytes());
+  std::vector<std::size_t> sizes;
+  copy.for_each_from(2, 0, [&](const LogEntry& e) { sizes.push_back(e.payload.size()); });
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{20, 30}));
+}
+
+TEST(SenderLog, ClearResets) {
+  SenderLog log(2);
+  log.append(0, entry(1));
+  log.clear();
+  EXPECT_EQ(log.entries(), 0u);
+  EXPECT_EQ(log.bytes(), 0u);
+  log.append(0, entry(1));  // indices restart after clear
+  EXPECT_EQ(log.entries(), 1u);
+}
+
+TEST(SenderLog, BytesAccountsMetaAndPayload) {
+  SenderLog log(1);
+  const std::size_t empty = log.bytes();
+  log.append(0, entry(1, 100));
+  EXPECT_GE(log.bytes() - empty, 100u);
+}
+
+}  // namespace
+}  // namespace windar::ft

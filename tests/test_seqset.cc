@@ -1,0 +1,81 @@
+// Unit tests for the watermark + sparse sequence set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "windar/seqset.h"
+
+namespace windar::ft {
+namespace {
+
+TEST(SeqSet, ContiguousFoldsIntoWatermark) {
+  SeqSet s;
+  s.add(1);
+  s.add(2);
+  s.add(3);
+  EXPECT_EQ(s.watermark(), 3u);
+  EXPECT_EQ(s.sparse_size(), 0u);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(SeqSet, OutOfOrderHeldSparse) {
+  SeqSet s;
+  s.add(3);
+  s.add(5);
+  EXPECT_EQ(s.watermark(), 0u);
+  EXPECT_EQ(s.sparse_size(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(SeqSet, GapFillCompacts) {
+  SeqSet s;
+  s.add(2);
+  s.add(3);
+  s.add(5);
+  s.add(1);  // fills gap -> watermark jumps over 2, 3
+  EXPECT_EQ(s.watermark(), 3u);
+  EXPECT_EQ(s.sparse_size(), 1u);
+  s.add(4);
+  EXPECT_EQ(s.watermark(), 5u);
+  EXPECT_EQ(s.sparse_size(), 0u);
+}
+
+TEST(SeqSet, DuplicatesIgnored) {
+  SeqSet s;
+  s.add(1);
+  s.add(1);
+  s.add(2);
+  s.add(2);
+  EXPECT_EQ(s.watermark(), 2u);
+  EXPECT_EQ(s.sparse_size(), 0u);
+}
+
+TEST(SeqSet, ResetToWatermark) {
+  SeqSet s;
+  s.add(1);
+  s.add(7);
+  s.reset(10);
+  EXPECT_EQ(s.watermark(), 10u);
+  EXPECT_EQ(s.sparse_size(), 0u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(11));
+}
+
+TEST(SeqSet, RandomPermutationCompactsFully) {
+  std::vector<SeqNo> order(500);
+  for (SeqNo i = 0; i < 500; ++i) order[i] = i + 1;
+  util::Rng rng(17);
+  std::shuffle(order.begin(), order.end(), rng);
+  SeqSet s;
+  for (SeqNo v : order) s.add(v);
+  EXPECT_EQ(s.watermark(), 500u);
+  EXPECT_EQ(s.sparse_size(), 0u);
+}
+
+}  // namespace
+}  // namespace windar::ft

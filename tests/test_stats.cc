@@ -1,0 +1,81 @@
+// Unit tests for the statistics helpers.
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace windar::util {
+namespace {
+
+TEST(OnlineStats, Basics) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  for (double v : {2.0, 4.0, 6.0}) s.add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 10 - 5;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Samples, ExactPercentilesSmall) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0.99), 99.01, 1e-9);
+}
+
+TEST(Samples, ThinningKeepsApproximateQuantiles) {
+  Samples s(/*limit=*/256);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) s.add(rng.next_double());
+  EXPECT_EQ(s.count(), 100000u);
+  EXPECT_NEAR(s.median(), 0.5, 0.08);
+  EXPECT_NEAR(s.percentile(0.9), 0.9, 0.08);
+}
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(FmtDouble, TrimsZeros) {
+  EXPECT_EQ(fmt_double(1.5), "1.5");
+  EXPECT_EQ(fmt_double(2.0), "2");
+  EXPECT_EQ(fmt_double(0.125, 3), "0.125");
+  EXPECT_EQ(fmt_double(1.0 / 3.0, 2), "0.33");
+}
+
+}  // namespace
+}  // namespace windar::util

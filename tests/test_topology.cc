@@ -1,0 +1,98 @@
+// Tests for process-grid topology helpers and NPB state serialization.
+#include <gtest/gtest.h>
+
+#include "npb/state.h"
+#include "npb/topology.h"
+
+namespace windar::npb {
+namespace {
+
+TEST(Factor2, NearSquare) {
+  EXPECT_EQ(factor2(1), std::make_pair(1, 1));
+  EXPECT_EQ(factor2(4), std::make_pair(2, 2));
+  EXPECT_EQ(factor2(8), std::make_pair(4, 2));
+  EXPECT_EQ(factor2(16), std::make_pair(4, 4));
+  EXPECT_EQ(factor2(32), std::make_pair(8, 4));
+  EXPECT_EQ(factor2(12), std::make_pair(4, 3));
+  EXPECT_EQ(factor2(7), std::make_pair(7, 1));  // prime: 1-D strip
+}
+
+TEST(Grid2D, CoordinatesRowMajor) {
+  Grid2D g(5, 8);  // px=4, py=2 -> rank 5 is (x=1, y=1)
+  EXPECT_EQ(g.px, 4);
+  EXPECT_EQ(g.py, 2);
+  EXPECT_EQ(g.cx, 1);
+  EXPECT_EQ(g.cy, 1);
+  EXPECT_EQ(g.rank_of(g.cx, g.cy), 5);
+}
+
+TEST(Grid2D, NeighboursAndBoundaries) {
+  // 4x2 grid:
+  //   0 1 2 3
+  //   4 5 6 7
+  Grid2D g0(0, 8);
+  EXPECT_EQ(g0.west(), -1);
+  EXPECT_EQ(g0.north(), -1);
+  EXPECT_EQ(g0.east(), 1);
+  EXPECT_EQ(g0.south(), 4);
+  Grid2D g7(7, 8);
+  EXPECT_EQ(g7.east(), -1);
+  EXPECT_EQ(g7.south(), -1);
+  EXPECT_EQ(g7.west(), 6);
+  EXPECT_EQ(g7.north(), 3);
+}
+
+TEST(Grid2D, EveryRankHasConsistentNeighbours) {
+  const int n = 12;
+  for (int r = 0; r < n; ++r) {
+    Grid2D g(r, n);
+    if (g.east() >= 0) {
+      Grid2D e(g.east(), n);
+      EXPECT_EQ(e.west(), r);
+    }
+    if (g.south() >= 0) {
+      Grid2D s(g.south(), n);
+      EXPECT_EQ(s.north(), r);
+    }
+  }
+}
+
+TEST(Grid2D, ChunkPartitionsExactly) {
+  for (int total : {10, 17, 32}) {
+    for (int parts : {1, 3, 4, 7}) {
+      int sum = 0;
+      for (int i = 0; i < parts; ++i) sum += Grid2D::chunk(total, parts, i);
+      EXPECT_EQ(sum, total);
+      // offsets are cumulative chunk sums
+      int off = 0;
+      for (int i = 0; i < parts; ++i) {
+        EXPECT_EQ(Grid2D::offset(total, parts, i), off);
+        off += Grid2D::chunk(total, parts, i);
+      }
+    }
+  }
+}
+
+TEST(IterState, RoundTrip) {
+  IterState s;
+  s.iter = 9;
+  s.coll_seq = 77;
+  s.racc = 2.25;
+  s.u = {1.0, -2.5, 3.75};
+  const auto blob = s.serialize();
+  const IterState back = IterState::deserialize(blob);
+  EXPECT_EQ(back.iter, 9);
+  EXPECT_EQ(back.coll_seq, 77u);
+  EXPECT_DOUBLE_EQ(back.racc, 2.25);
+  EXPECT_EQ(back.u, s.u);
+}
+
+TEST(IterState, EmptyGrid) {
+  IterState s;
+  const IterState back = IterState::deserialize(s.serialize());
+  EXPECT_TRUE(back.u.empty());
+  EXPECT_EQ(back.iter, 0);
+}
+
+}  // namespace
+}  // namespace windar::npb

@@ -1,0 +1,113 @@
+// Tests for the CLI option parser, the table printer, and the clock helpers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/clock.h"
+#include "util/options.h"
+#include "util/table.h"
+
+namespace windar::util {
+namespace {
+
+Options make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  auto o = make({});
+  EXPECT_EQ(o.str("name", "dflt"), "dflt");
+  EXPECT_EQ(o.integer("k", 7), 7);
+  EXPECT_DOUBLE_EQ(o.real("x", 1.5), 1.5);
+  EXPECT_FALSE(o.flag("f", false));
+  o.finish();
+}
+
+TEST(Options, EqualsSyntax) {
+  auto o = make({"--name=abc", "--k=42", "--x=2.5", "--f=true"});
+  EXPECT_EQ(o.str("name", ""), "abc");
+  EXPECT_EQ(o.integer("k", 0), 42);
+  EXPECT_DOUBLE_EQ(o.real("x", 0), 2.5);
+  EXPECT_TRUE(o.flag("f", false));
+  o.finish();
+}
+
+TEST(Options, SpaceSyntaxAndBareFlag) {
+  auto o = make({"--k", "13", "--verbose"});
+  EXPECT_EQ(o.integer("k", 0), 13);
+  EXPECT_TRUE(o.flag("verbose", false));
+  o.finish();
+}
+
+TEST(Options, IntList) {
+  auto o = make({"--ranks=4,8,16"});
+  EXPECT_EQ(o.int_list("ranks", {1}), (std::vector<int>{4, 8, 16}));
+  o.finish();
+}
+
+TEST(Options, IntListDefault) {
+  auto o = make({});
+  EXPECT_EQ(o.int_list("ranks", {2, 3}), (std::vector<int>{2, 3}));
+  o.finish();
+}
+
+TEST(OptionsDeath, UnknownOptionExits) {
+  EXPECT_EXIT(
+      {
+        auto o = make({"--bogus=1"});
+        (void)o.integer("k", 0);
+        o.finish();
+      },
+      ::testing::ExitedWithCode(2), "unknown option");
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+  Table t({"a", "long header", "c"});
+  t.row({"1", "2", "3"}).row({"wide cell", "x", "y"});
+  const std::string csv = t.csv();
+  EXPECT_EQ(csv, "a,long header,c\n1,2,3\nwide cell,x,y\n");
+  t.print("title");  // must not crash
+}
+
+TEST(TableDeath, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.row({"only one"}), "width");
+}
+
+TEST(Clock, StopwatchAccumulates) {
+  Stopwatch sw;
+  sw.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  sw.stop();
+  sw.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  sw.stop();
+  EXPECT_GE(sw.total_ns(), 3'500'000);
+  EXPECT_EQ(sw.laps(), 2u);
+  sw.reset();
+  EXPECT_EQ(sw.total_ns(), 0);
+}
+
+TEST(Clock, ScopedLapStops) {
+  Stopwatch sw;
+  {
+    ScopedLap lap(sw);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(sw.total_ns(), 500'000);
+  EXPECT_EQ(sw.laps(), 1u);
+}
+
+TEST(Clock, MonotonicNow) {
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace windar::util
