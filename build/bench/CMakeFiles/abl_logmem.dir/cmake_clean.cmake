@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_logmem.dir/abl_logmem.cc.o"
+  "CMakeFiles/abl_logmem.dir/abl_logmem.cc.o.d"
+  "abl_logmem"
+  "abl_logmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_logmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

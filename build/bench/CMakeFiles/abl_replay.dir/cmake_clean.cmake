@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replay.dir/abl_replay.cc.o"
+  "CMakeFiles/abl_replay.dir/abl_replay.cc.o.d"
+  "abl_replay"
+  "abl_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scale.dir/abl_scale.cc.o"
+  "CMakeFiles/abl_scale.dir/abl_scale.cc.o.d"
+  "abl_scale"
+  "abl_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

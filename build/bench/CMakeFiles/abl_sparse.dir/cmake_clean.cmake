@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sparse.dir/abl_sparse.cc.o"
+  "CMakeFiles/abl_sparse.dir/abl_sparse.cc.o.d"
+  "abl_sparse"
+  "abl_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_piggyback.dir/fig6_piggyback.cc.o"
+  "CMakeFiles/fig6_piggyback.dir/fig6_piggyback.cc.o.d"
+  "fig6_piggyback"
+  "fig6_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tracking.dir/fig7_tracking.cc.o"
+  "CMakeFiles/fig7_tracking.dir/fig7_tracking.cc.o.d"
+  "fig7_tracking"
+  "fig7_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_nonblocking.dir/fig8_nonblocking.cc.o"
+  "CMakeFiles/fig8_nonblocking.dir/fig8_nonblocking.cc.o.d"
+  "fig8_nonblocking"
+  "fig8_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simultaneous_failures.dir/simultaneous_failures.cpp.o"
+  "CMakeFiles/simultaneous_failures.dir/simultaneous_failures.cpp.o.d"
+  "simultaneous_failures"
+  "simultaneous_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simultaneous_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

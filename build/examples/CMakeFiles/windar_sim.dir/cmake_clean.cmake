@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windar_sim.dir/windar_sim.cpp.o"
+  "CMakeFiles/windar_sim.dir/windar_sim.cpp.o.d"
+  "windar_sim"
+  "windar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/collectives.cc" "src/mp/CMakeFiles/windar_mp.dir/collectives.cc.o" "gcc" "src/mp/CMakeFiles/windar_mp.dir/collectives.cc.o.d"
+  "/root/repo/src/mp/raw_comm.cc" "src/mp/CMakeFiles/windar_mp.dir/raw_comm.cc.o" "gcc" "src/mp/CMakeFiles/windar_mp.dir/raw_comm.cc.o.d"
+  "/root/repo/src/mp/runtime.cc" "src/mp/CMakeFiles/windar_mp.dir/runtime.cc.o" "gcc" "src/mp/CMakeFiles/windar_mp.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/windar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/windar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

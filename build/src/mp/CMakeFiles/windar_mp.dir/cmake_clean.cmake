@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windar_mp.dir/collectives.cc.o"
+  "CMakeFiles/windar_mp.dir/collectives.cc.o.d"
+  "CMakeFiles/windar_mp.dir/raw_comm.cc.o"
+  "CMakeFiles/windar_mp.dir/raw_comm.cc.o.d"
+  "CMakeFiles/windar_mp.dir/runtime.cc.o"
+  "CMakeFiles/windar_mp.dir/runtime.cc.o.d"
+  "libwindar_mp.a"
+  "libwindar_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windar_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

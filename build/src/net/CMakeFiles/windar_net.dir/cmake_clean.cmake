@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windar_net.dir/fabric.cc.o"
+  "CMakeFiles/windar_net.dir/fabric.cc.o.d"
+  "libwindar_net.a"
+  "libwindar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

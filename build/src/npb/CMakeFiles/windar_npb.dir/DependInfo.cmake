@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/adi.cc" "src/npb/CMakeFiles/windar_npb.dir/adi.cc.o" "gcc" "src/npb/CMakeFiles/windar_npb.dir/adi.cc.o.d"
+  "/root/repo/src/npb/cg.cc" "src/npb/CMakeFiles/windar_npb.dir/cg.cc.o" "gcc" "src/npb/CMakeFiles/windar_npb.dir/cg.cc.o.d"
+  "/root/repo/src/npb/driver.cc" "src/npb/CMakeFiles/windar_npb.dir/driver.cc.o" "gcc" "src/npb/CMakeFiles/windar_npb.dir/driver.cc.o.d"
+  "/root/repo/src/npb/lu.cc" "src/npb/CMakeFiles/windar_npb.dir/lu.cc.o" "gcc" "src/npb/CMakeFiles/windar_npb.dir/lu.cc.o.d"
+  "/root/repo/src/npb/mg.cc" "src/npb/CMakeFiles/windar_npb.dir/mg.cc.o" "gcc" "src/npb/CMakeFiles/windar_npb.dir/mg.cc.o.d"
+  "/root/repo/src/npb/workload.cc" "src/npb/CMakeFiles/windar_npb.dir/workload.cc.o" "gcc" "src/npb/CMakeFiles/windar_npb.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/windar/CMakeFiles/windar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/windar_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/windar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/windar_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

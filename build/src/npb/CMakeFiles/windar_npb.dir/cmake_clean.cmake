@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windar_npb.dir/adi.cc.o"
+  "CMakeFiles/windar_npb.dir/adi.cc.o.d"
+  "CMakeFiles/windar_npb.dir/cg.cc.o"
+  "CMakeFiles/windar_npb.dir/cg.cc.o.d"
+  "CMakeFiles/windar_npb.dir/driver.cc.o"
+  "CMakeFiles/windar_npb.dir/driver.cc.o.d"
+  "CMakeFiles/windar_npb.dir/lu.cc.o"
+  "CMakeFiles/windar_npb.dir/lu.cc.o.d"
+  "CMakeFiles/windar_npb.dir/mg.cc.o"
+  "CMakeFiles/windar_npb.dir/mg.cc.o.d"
+  "CMakeFiles/windar_npb.dir/workload.cc.o"
+  "CMakeFiles/windar_npb.dir/workload.cc.o.d"
+  "libwindar_npb.a"
+  "libwindar_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windar_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwindar_npb.a"
+)

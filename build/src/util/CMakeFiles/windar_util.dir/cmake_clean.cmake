@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windar_util.dir/check.cc.o"
+  "CMakeFiles/windar_util.dir/check.cc.o.d"
+  "CMakeFiles/windar_util.dir/options.cc.o"
+  "CMakeFiles/windar_util.dir/options.cc.o.d"
+  "CMakeFiles/windar_util.dir/stats.cc.o"
+  "CMakeFiles/windar_util.dir/stats.cc.o.d"
+  "CMakeFiles/windar_util.dir/table.cc.o"
+  "CMakeFiles/windar_util.dir/table.cc.o.d"
+  "libwindar_util.a"
+  "libwindar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/windar/checkpoint.cc" "src/windar/CMakeFiles/windar_core.dir/checkpoint.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/windar/event_logger.cc" "src/windar/CMakeFiles/windar_core.dir/event_logger.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/event_logger.cc.o.d"
+  "/root/repo/src/windar/metrics.cc" "src/windar/CMakeFiles/windar_core.dir/metrics.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/metrics.cc.o.d"
+  "/root/repo/src/windar/pes_protocol.cc" "src/windar/CMakeFiles/windar_core.dir/pes_protocol.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/pes_protocol.cc.o.d"
+  "/root/repo/src/windar/process.cc" "src/windar/CMakeFiles/windar_core.dir/process.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/process.cc.o.d"
+  "/root/repo/src/windar/protocol.cc" "src/windar/CMakeFiles/windar_core.dir/protocol.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/protocol.cc.o.d"
+  "/root/repo/src/windar/runtime.cc" "src/windar/CMakeFiles/windar_core.dir/runtime.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/runtime.cc.o.d"
+  "/root/repo/src/windar/sender_log.cc" "src/windar/CMakeFiles/windar_core.dir/sender_log.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/sender_log.cc.o.d"
+  "/root/repo/src/windar/tag_protocol.cc" "src/windar/CMakeFiles/windar_core.dir/tag_protocol.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/tag_protocol.cc.o.d"
+  "/root/repo/src/windar/tdi_protocol.cc" "src/windar/CMakeFiles/windar_core.dir/tdi_protocol.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/tdi_protocol.cc.o.d"
+  "/root/repo/src/windar/tel_protocol.cc" "src/windar/CMakeFiles/windar_core.dir/tel_protocol.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/tel_protocol.cc.o.d"
+  "/root/repo/src/windar/trace.cc" "src/windar/CMakeFiles/windar_core.dir/trace.cc.o" "gcc" "src/windar/CMakeFiles/windar_core.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/windar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/windar_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/windar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

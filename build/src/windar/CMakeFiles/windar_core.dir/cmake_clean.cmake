@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windar_core.dir/checkpoint.cc.o"
+  "CMakeFiles/windar_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/windar_core.dir/event_logger.cc.o"
+  "CMakeFiles/windar_core.dir/event_logger.cc.o.d"
+  "CMakeFiles/windar_core.dir/metrics.cc.o"
+  "CMakeFiles/windar_core.dir/metrics.cc.o.d"
+  "CMakeFiles/windar_core.dir/pes_protocol.cc.o"
+  "CMakeFiles/windar_core.dir/pes_protocol.cc.o.d"
+  "CMakeFiles/windar_core.dir/process.cc.o"
+  "CMakeFiles/windar_core.dir/process.cc.o.d"
+  "CMakeFiles/windar_core.dir/protocol.cc.o"
+  "CMakeFiles/windar_core.dir/protocol.cc.o.d"
+  "CMakeFiles/windar_core.dir/runtime.cc.o"
+  "CMakeFiles/windar_core.dir/runtime.cc.o.d"
+  "CMakeFiles/windar_core.dir/sender_log.cc.o"
+  "CMakeFiles/windar_core.dir/sender_log.cc.o.d"
+  "CMakeFiles/windar_core.dir/tag_protocol.cc.o"
+  "CMakeFiles/windar_core.dir/tag_protocol.cc.o.d"
+  "CMakeFiles/windar_core.dir/tdi_protocol.cc.o"
+  "CMakeFiles/windar_core.dir/tdi_protocol.cc.o.d"
+  "CMakeFiles/windar_core.dir/tel_protocol.cc.o"
+  "CMakeFiles/windar_core.dir/tel_protocol.cc.o.d"
+  "CMakeFiles/windar_core.dir/trace.cc.o"
+  "CMakeFiles/windar_core.dir/trace.cc.o.d"
+  "libwindar_core.a"
+  "libwindar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

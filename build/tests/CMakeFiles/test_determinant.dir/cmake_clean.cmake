@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinant.dir/test_determinant.cc.o"
+  "CMakeFiles/test_determinant.dir/test_determinant.cc.o.d"
+  "test_determinant"
+  "test_determinant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

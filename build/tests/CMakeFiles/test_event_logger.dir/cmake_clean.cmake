@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_logger.dir/test_event_logger.cc.o"
+  "CMakeFiles/test_event_logger.dir/test_event_logger.cc.o.d"
+  "test_event_logger"
+  "test_event_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig_shapes.dir/test_fig_shapes.cc.o"
+  "CMakeFiles/test_fig_shapes.dir/test_fig_shapes.cc.o.d"
+  "test_fig_shapes"
+  "test_fig_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ft_basic.dir/test_ft_basic.cc.o"
+  "CMakeFiles/test_ft_basic.dir/test_ft_basic.cc.o.d"
+  "test_ft_basic"
+  "test_ft_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ft_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pwd_replay.dir/test_pwd_replay.cc.o"
+  "CMakeFiles/test_pwd_replay.dir/test_pwd_replay.cc.o.d"
+  "test_pwd_replay"
+  "test_pwd_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pwd_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_raw_comm.cc" "tests/CMakeFiles/test_raw_comm.dir/test_raw_comm.cc.o" "gcc" "tests/CMakeFiles/test_raw_comm.dir/test_raw_comm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/npb/CMakeFiles/windar_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/windar/CMakeFiles/windar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/windar_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/windar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/windar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raw_comm.dir/test_raw_comm.cc.o"
+  "CMakeFiles/test_raw_comm.dir/test_raw_comm.cc.o.d"
+  "test_raw_comm"
+  "test_raw_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raw_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

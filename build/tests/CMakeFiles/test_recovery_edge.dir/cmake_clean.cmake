@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery_edge.dir/test_recovery_edge.cc.o"
+  "CMakeFiles/test_recovery_edge.dir/test_recovery_edge.cc.o.d"
+  "test_recovery_edge"
+  "test_recovery_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

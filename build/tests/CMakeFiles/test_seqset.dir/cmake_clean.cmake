@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seqset.dir/test_seqset.cc.o"
+  "CMakeFiles/test_seqset.dir/test_seqset.cc.o.d"
+  "test_seqset"
+  "test_seqset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seqset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
