@@ -19,14 +19,9 @@ RawComm::RawComm(net::Fabric& fabric, int rank, int size)
 
 void RawComm::send(int dst, int tag, std::span<const std::uint8_t> payload) {
   WINDAR_CHECK(dst >= 0 && dst < size_) << "send to bad rank " << dst;
-  net::Packet p;
-  p.src = rank_;
-  p.dst = dst;
-  p.kind = kRawKind;
-  p.tag = tag;
-  p.seq = next_send_[static_cast<std::size_t>(dst)]++;
-  p.payload.assign(payload.begin(), payload.end());
-  fabric_.send(std::move(p));
+  fabric_.send(net::make_packet(
+      rank_, dst, kRawKind, tag, next_send_[static_cast<std::size_t>(dst)]++,
+      {}, util::Bytes(payload.begin(), payload.end())));
 }
 
 bool RawComm::pump() {

@@ -33,4 +33,21 @@ struct Packet {
   }
 };
 
+/// The one place a packet header is assembled.  Every layer above (the raw
+/// transport's framing, the recovery layer's app/control messages) builds on
+/// this instead of hand-initialising field by field.
+inline Packet make_packet(EndpointId src, EndpointId dst, std::uint16_t kind,
+                          std::int32_t tag, std::uint64_t seq,
+                          util::Bytes meta = {}, util::Bytes payload = {}) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.kind = kind;
+  p.tag = tag;
+  p.seq = seq;
+  p.meta = std::move(meta);
+  p.payload = std::move(payload);
+  return p;
+}
+
 }  // namespace windar::net

@@ -1,0 +1,189 @@
+#include "windar/delivery_queue.h"
+
+#include "util/clock.h"
+
+namespace windar::ft {
+
+DeliveryQueue::DeliveryQueue(const ProcessParams& params,
+                             ChannelState& channels, ProtocolHost& tracker,
+                             const std::atomic<bool>& gate_open,
+                             SharedMetrics& metrics)
+    : params_(params),
+      channels_(channels),
+      tracker_(tracker),
+      gate_open_(gate_open),
+      metrics_(metrics),
+      pessimistic_(tracker.pessimistic()),
+      uses_event_logger_(tracker.uses_event_logger()) {}
+
+void DeliveryQueue::admit(net::Packet&& p) {
+  std::scoped_lock lock(mu_);
+  const int src = p.src;
+  const auto idx = static_cast<SeqNo>(p.seq);
+  const bool ack_enabled = params_.mode == SendMode::kBlocking;
+
+  if (channels_.already_delivered(src, idx)) {
+    // Repetitive message (paper §III.C.3): already delivered — discard, but
+    // re-ack so a blocked sender is released.
+    metrics_.update([](Metrics& m) { ++m.dup_dropped; });
+    if (ack_enabled) hooks_.send_ack(src, idx);
+    return;
+  }
+  for (const QueuedMsg& q : queue_) {
+    if (q.src == src && q.send_index == idx) {
+      metrics_.update([](Metrics& m) { ++m.dup_dropped; });
+      if (ack_enabled && q.eager_acked) {
+        // The original's eager ack may have gone to a sender incarnation
+        // that has since died; the retransmitting incarnation is blocked on
+        // this ack, so repeat it (acks are idempotent).
+        hooks_.send_ack(src, idx);
+      }
+      return;
+    }
+  }
+  QueuedMsg m;
+  m.src = src;
+  m.tag = p.tag;
+  m.send_index = idx;
+  m.meta = std::move(p.meta);
+  m.payload = std::move(p.payload);
+  if (ack_enabled &&
+      (m.payload.size() <= params_.eager_threshold || src == params_.rank)) {
+    // Eager acceptance; self-channel messages are always eager (the sender
+    // is the thread that will eventually consume them).
+    hooks_.send_ack(src, idx);
+    m.eager_acked = true;
+  }
+  queue_.push_back(std::move(m));
+}
+
+std::size_t DeliveryQueue::find_locked(int src, int tag) const {
+  if (!gate_open_.load(std::memory_order_acquire)) {
+    return kNpos;  // PWD protocols: determinants first
+  }
+  const auto [last_deliver, delivered_total] = channels_.deliver_snapshot();
+  return tracker_.with([&](const LoggingProtocol& proto) {
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const QueuedMsg& m = queue_[i];
+      if (src != mp::kAnySource && m.src != src) continue;
+      if (tag != mp::kAnyTag && m.tag != tag) continue;
+      // Per-pair FIFO (Algorithm 1 line 19).
+      if (m.send_index !=
+          last_deliver[static_cast<std::size_t>(m.src)] + 1) {
+        continue;
+      }
+      if (!proto.deliverable(m, delivered_total)) continue;
+      return i;
+    }
+    return kNpos;
+  });
+}
+
+mp::Message DeliveryQueue::deliver_locked(std::size_t at, SeqNo& deliver_seq) {
+  QueuedMsg m = std::move(queue_[at]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+
+  deliver_seq = channels_.advance_deliver(m.src);
+
+  if (params_.trace) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kDeliver;
+    ev.rank = params_.rank;
+    ev.incarnation = params_.incarnation;
+    ev.peer = m.src;
+    ev.pair_index = m.send_index;
+    ev.deliver_seq = deliver_seq;
+    ev.depend_self = tracker_.with(
+        [&](const LoggingProtocol& proto) { return proto.depend_on_receiver(m); });
+    params_.trace->record(std::move(ev));
+  }
+
+  const std::int64_t t0 = util::now_ns();
+  tracker_.with([&](LoggingProtocol& proto) {
+    proto.on_deliver(m.src, m.send_index, deliver_seq, m.meta);
+  });
+  const std::int64_t dt = util::now_ns() - t0;
+  metrics_.update([&](Metrics& mm) {
+    mm.track_deliver_ns += dt;
+    ++mm.app_delivered;
+  });
+
+  if (uses_event_logger_) {
+    // Ship the fresh determinant to stable storage immediately ([5] logs
+    // each event as it happens); batching folds bursts together.
+    hooks_.flush_determinants();
+  }
+
+  if (params_.mode == SendMode::kBlocking && !m.eager_acked) {
+    // Rendezvous completion: the sender is released only now that the
+    // application has actually consumed the large payload.
+    hooks_.send_ack(m.src, m.send_index);
+  }
+
+  mp::Message out;
+  out.src = m.src;
+  out.tag = m.tag;
+  out.payload = std::move(m.payload);
+  return out;
+}
+
+mp::Message DeliveryQueue::recv_wait(int src, int tag, const LifeFlags& life) {
+  std::unique_lock lock(mu_);
+  while (true) {
+    const std::size_t at = find_locked(src, tag);
+    if (at != kNpos) {
+      SeqNo seq = 0;
+      mp::Message msg = deliver_locked(at, seq);
+      // Pessimistic logging: hold the delivery until its determinant is
+      // confirmed stable (the synchronous-logging latency cost).
+      while (pessimistic_ && !tracker_.with([&](const LoggingProtocol& p) {
+               return p.stable_upto(seq);
+             })) {
+        cv_.wait_for(lock, kTick);
+        life.throw_if_dead();
+      }
+      return msg;
+    }
+    cv_.wait_for(lock, kTick);
+    life.throw_if_dead();
+  }
+}
+
+std::optional<DeliveryQueue::Delivered> DeliveryQueue::try_deliver(int src,
+                                                                   int tag) {
+  std::scoped_lock lock(mu_);
+  const std::size_t at = find_locked(src, tag);
+  if (at == kNpos) return std::nullopt;
+  Delivered d;
+  d.msg = deliver_locked(at, d.deliver_seq);
+  return d;
+}
+
+bool DeliveryQueue::has_deliverable(int src, int tag) const {
+  std::scoped_lock lock(mu_);
+  return find_locked(src, tag) != kNpos;
+}
+
+void DeliveryQueue::notify() { cv_.notify_all(); }
+
+std::size_t DeliveryQueue::depth() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+std::string DeliveryQueue::debug_string() const {
+  std::scoped_lock lock(mu_);
+  std::string out = "queueB=" + std::to_string(queue_.size()) + " [";
+  for (const QueuedMsg& m : queue_) {
+    out += " (" + std::to_string(m.src) + "#" +
+           std::to_string(m.send_index) + " t" + std::to_string(m.tag) + ")";
+    if (out.size() > 300) {
+      out += " ...";
+      break;
+    }
+  }
+  out += " ]";
+  return out;
+}
+
+}  // namespace windar::ft

@@ -52,12 +52,8 @@ void EventLogger::handle(net::Packet&& p) {
         }
         watermark = seen.watermark();
       }
-      net::Packet ack;
-      ack.src = params_.endpoint;
-      ack.dst = owner;
-      ack.kind = wire(Kind::kTelAck);
-      ack.seq = watermark;
-      fabric_.send(std::move(ack));
+      fabric_.send(
+          control_packet(params_.endpoint, owner, Kind::kTelAck, watermark));
       break;
     }
     case Kind::kTelQuery: {
@@ -72,14 +68,10 @@ void EventLogger::handle(net::Packet&& p) {
           dets.push_back(det);
         }
       }
-      net::Packet reply;
-      reply.src = params_.endpoint;
-      reply.dst = owner;
-      reply.kind = wire(Kind::kTelQueryReply);
       util::ByteWriter w;
       write_determinants(w, dets);
-      reply.payload = w.take();
-      fabric_.send(std::move(reply));
+      fabric_.send(control_packet(params_.endpoint, owner,
+                                  Kind::kTelQueryReply, 0, w.take()));
       break;
     }
     case Kind::kCheckpointAdvance: {

@@ -1,0 +1,39 @@
+// Lifecycle signalling shared by the recovery-engine components.
+//
+// A rank's engine is torn down two ways: fault injection (the rank is
+// "killed" and an incarnation will take over) or job teardown (another rank
+// raised an application error and everyone unwinds).  Both are announced via
+// lock-free flags so any component — the app-thread API surface, the receiver
+// thread, a blocking-send ack wait — can observe them without taking a lock.
+#pragma once
+
+#include <atomic>
+
+namespace windar::ft {
+
+/// Thrown into the application thread when this rank is fault-injected.
+struct Killed {};
+
+/// Thrown when the job is being torn down abnormally (another rank raised an
+/// application error); unwinds the rank function without triggering recovery.
+struct JobAborted {};
+
+/// Shared teardown flags.  `killed` is set by the fault injector via
+/// Process::poison(); `aborted` is set when the transport is poisoned without
+/// a kill (job teardown).  Killed wins when both are set.
+struct LifeFlags {
+  std::atomic<bool> killed{false};
+  std::atomic<bool> aborted{false};
+
+  bool dead() const {
+    return killed.load(std::memory_order_acquire) ||
+           aborted.load(std::memory_order_acquire);
+  }
+
+  void throw_if_dead() const {
+    if (killed.load(std::memory_order_acquire)) throw Killed{};
+    if (aborted.load(std::memory_order_acquire)) throw JobAborted{};
+  }
+};
+
+}  // namespace windar::ft

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace windar::ft {
@@ -56,6 +57,26 @@ struct Metrics {
   }
 
   std::string summary() const;
+};
+
+/// Mutex-guarded Metrics shared by the recovery-engine components.  A leaf in
+/// the engine's lock order: `update` lambdas must not take other locks.
+class SharedMetrics {
+ public:
+  template <typename F>
+  void update(F&& f) {
+    std::scoped_lock lock(mu_);
+    f(m_);
+  }
+
+  Metrics snapshot() const {
+    std::scoped_lock lock(mu_);
+    return m_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Metrics m_;
 };
 
 }  // namespace windar::ft

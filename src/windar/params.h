@@ -1,0 +1,33 @@
+// Per-rank configuration of the recovery engine, shared by its components.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "windar/trace.h"
+#include "windar/wire.h"
+
+namespace windar::ft {
+
+struct ProcessParams {
+  int rank = 0;
+  int n = 0;
+  ProtocolKind protocol = ProtocolKind::kTdi;
+  SendMode mode = SendMode::kNonBlocking;
+  std::size_t eager_threshold = 8 * 1024;
+  std::chrono::milliseconds rollback_retry{25};
+  int logger_endpoint = -1;  // >= 0 when the protocol uses the event logger
+  std::size_t tel_batch = 32;
+  std::chrono::microseconds tel_flush_interval{50};
+  // Paper Fig. 4(b) uses a dedicated sending thread because real transports
+  // block in send().  The simulated fabric's send never blocks, so by
+  // default the application thread hands packets to the fabric directly and
+  // the sending thread is opt-in (it only adds a scheduling hop here).
+  bool sender_thread = false;
+  // Optional causal-event recorder (owned by the caller, shared by ranks).
+  TraceSink* trace = nullptr;
+  std::uint32_t incarnation = 0;  // 0 = original process
+};
+
+}  // namespace windar::ft

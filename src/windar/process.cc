@@ -1,9 +1,9 @@
 #include "windar/process.h"
 
 #include <cstdlib>
+#include <thread>
 
 #include "util/check.h"
-#include "util/clock.h"
 
 namespace windar::ft {
 
@@ -14,509 +14,95 @@ bool Process::debug_breadcrumbs() {
   return enabled;
 }
 
+void Process::breadcrumb(const char* api, int a, int b) {
+  if (!debug_breadcrumbs()) return;
+  std::scoped_lock lock(dbg_mu_);
+  last_api_ = std::string(api) + "=" + std::to_string(a) + " tag=" +
+              std::to_string(b);
+}
+
 Process::Process(net::Fabric& fabric, CheckpointStore& store,
                  ProcessParams params, bool recovering)
     : fabric_(fabric),
       store_(store),
       params_(params),
-      proto_(make_protocol(params.protocol, params.rank, params.n)),
-      log_(params.n),
-      last_send_(static_cast<std::size_t>(params.n), 0),
-      last_deliver_(static_cast<std::size_t>(params.n), 0),
-      last_ckpt_deliver_(static_cast<std::size_t>(params.n), 0),
-      rollback_last_send_(static_cast<std::size_t>(params.n), 0),
-      acked_(static_cast<std::size_t>(params.n)),
-      peer_epoch_(static_cast<std::size_t>(params.n), 0),
-      response_seen_(static_cast<std::size_t>(params.n), 0) {
+      channels_(params_.n, params_.rank),
+      log_(params_.n),
+      tracker_(make_protocol(params_.protocol, params_.rank, params_.n)),
+      send_path_(fabric_, params_, life_, channels_, tracker_, log_,
+                 metrics_),
+      recovery_(fabric_, store_, params_, channels_, log_, tracker_,
+                send_path_, metrics_),
+      delivery_(params_, channels_, tracker_, recovery_.gate(), metrics_) {
   WINDAR_CHECK(params_.rank >= 0 && params_.rank < params_.n) << "bad rank";
-  if (proto_->uses_event_logger()) {
+  if (tracker_.uses_event_logger()) {
     WINDAR_CHECK_GE(params_.logger_endpoint, 0)
         << "TEL requires an event logger endpoint";
   }
+  delivery_.set_hooks(DeliveryQueue::Hooks{
+      [this](int dst, SeqNo idx) {
+        send_path_.send_control(dst, Kind::kDeliverAck, idx, {});
+      },
+      [this] { flush_tel(false); },
+  });
+  send_path_.set_callbacks(SendPath::Callbacks{
+      [this](net::Packet&& p) { return dispatch(std::move(p)); },
+      [this] { periodic(); },
+      [this] { delivery_.notify(); },
+      [this] { return recovery_.retry_pending(); },
+      [this] {
+        if (!life_.killed.load(std::memory_order_acquire)) {
+          life_.aborted.store(true, std::memory_order_release);
+        }
+        delivery_.notify();
+      },
+  });
+
   // The incarnation reclaims the failed rank's endpoint before anything is
   // broadcast, so responses and resends are not dropped.
   fabric_.revive(params_.rank);
   last_tel_flush_ = Clock::now();
 
-  if (recovering) restore_from_checkpoint();
+  if (recovering) recovery_.restore_from_checkpoint();
 
-  if (params_.mode == SendMode::kNonBlocking) {
-    recv_thread_ = std::thread([this] { recv_loop(); });
-    if (params_.sender_thread) {
-      send_thread_ = std::thread([this] { send_loop(); });
-    }
-  }
+  send_path_.start();
 
-  if (recovering) {
-    std::scoped_lock lock(mu_);
-    metrics_.recoveries = 1;
-    broadcast_rollback_locked();
-  }
+  if (recovering) recovery_.announce_rollback();
 }
 
-Process::~Process() {
-  {
-    std::scoped_lock lock(mu_);
-    closing_ = true;
-  }
-  queue_a_.poison();
-  // Wake a receiver thread blocked on the inbox.  By destruction time the
-  // rank is either dead (inbox already poisoned) or the job is over.
-  fabric_.endpoint(params_.rank).inbox().poison();
-  cv_.notify_all();
-  if (recv_thread_.joinable()) recv_thread_.join();
-  if (send_thread_.joinable()) send_thread_.join();
-}
+Process::~Process() { send_path_.stop(); }
 
 // ---------------------------------------------------------------------------
-// setup / recovery
+// packet routing
 // ---------------------------------------------------------------------------
 
-void Process::restore_from_checkpoint() {
-  recovering_ = true;
-  auto image = store_.load(params_.rank);
-  if (image) {
-    restored_app_ = std::move(image->app);
-    util::ByteReader pr(image->proto);
-    proto_->restore(pr);
-    last_send_ = std::move(image->last_send);
-    last_deliver_ = std::move(image->last_deliver);
-    delivered_total_ = image->delivered_total;
-    last_ckpt_deliver_ = last_deliver_;
-    util::ByteReader lr(image->log);
-    log_.restore(lr);
-    ckpt_seq_ = image->ckpt_seq;
-  }
-  // No RESPONSE will come from ourselves; suppress re-sends we know our own
-  // pre-checkpoint state already covers.
-  response_seen_[static_cast<std::size_t>(params_.rank)] = 1;
-  responses_pending_ = params_.n - 1;
-  logger_reply_pending_ = proto_->uses_event_logger();
-  if (proto_->needs_determinant_gather()) {
-    proto_->begin_replay(delivered_total_);
-    gather_done_ = false;
-  }
-  if (params_.trace) {
-    TraceEvent ev;
-    ev.kind = TraceEvent::Kind::kRecover;
-    ev.rank = params_.rank;
-    ev.incarnation = params_.incarnation;
-    ev.deliver_seq = delivered_total_;
-    ev.restored_deliver = last_deliver_;
-    params_.trace->record(std::move(ev));
-  }
-
-  const auto me = static_cast<std::size_t>(params_.rank);
-  rollback_last_send_[me] = last_deliver_[me];
-  // Self-channel recovery: logged self-sends that were not yet delivered
-  // must be re-injected locally (no peer will resend them for us).
-  log_.for_each_from(params_.rank, last_deliver_[me], [&](const LogEntry& e) {
-    net::Packet p = make_app_packet(params_.rank, e.tag, e.send_index, e.meta,
-                                    e.payload);
-    ++metrics_.resent_msgs;
-    fabric_.send(std::move(p));
-  });
-}
-
-void Process::broadcast_rollback_locked() {
-  util::ByteWriter w;
-  w.u32_vec(last_deliver_);
-  const util::Bytes payload = w.take();
-  for (int j = 0; j < params_.n; ++j) {
-    if (response_seen_[static_cast<std::size_t>(j)]) continue;
-    net::Packet p;
-    p.src = params_.rank;
-    p.dst = j;
-    p.kind = wire(Kind::kRollback);
-    p.seq = params_.incarnation;
-    p.payload = payload;
-    ++metrics_.control_msgs;
-    fabric_.send(std::move(p));
-  }
-  if (logger_reply_pending_) {
-    net::Packet q;
-    q.src = params_.rank;
-    q.dst = params_.logger_endpoint;
-    q.kind = wire(Kind::kTelQuery);
-    ++metrics_.control_msgs;
-    fabric_.send(std::move(q));
-  }
-  last_rollback_bcast_ = Clock::now();
-}
-
-void Process::update_gather_done_locked() {
-  if (!proto_->needs_determinant_gather()) {
-    gather_done_ = true;
-    return;
-  }
-  gather_done_ = (responses_pending_ == 0 && !logger_reply_pending_);
-}
-
-// ---------------------------------------------------------------------------
-// transmission helpers
-// ---------------------------------------------------------------------------
-
-net::Packet Process::make_app_packet(
-    int dst, int tag, SeqNo idx, const util::Bytes& meta,
-    std::span<const std::uint8_t> payload) const {
-  net::Packet p;
-  p.src = params_.rank;
-  p.dst = dst;
-  p.kind = wire(Kind::kApp);
-  p.tag = tag;
-  p.seq = idx;
-  p.meta = meta;
-  p.payload.assign(payload.begin(), payload.end());
-  return p;
-}
-
-void Process::transmit(net::Packet p) {
-  if (params_.mode == SendMode::kNonBlocking && params_.sender_thread) {
-    queue_a_.push(std::move(p));
-  } else {
-    fabric_.send(std::move(p));
-  }
-}
-
-void Process::send_control(int dst, Kind kind, std::uint64_t seq,
-                           util::Bytes payload) {
-  net::Packet p;
-  p.src = params_.rank;
-  p.dst = dst;
-  p.kind = wire(kind);
-  p.seq = seq;
-  p.payload = std::move(payload);
-  ++metrics_.control_msgs;
-  // Control traffic always goes straight to the fabric: it must flow even
-  // when the sender thread is being torn down.
-  fabric_.send(std::move(p));
-}
-
-void Process::send_ack_locked(int dst, SeqNo idx) {
-  send_control(dst, Kind::kDeliverAck, idx, {});
-}
-
-bool Process::is_acked_locked(int dst, SeqNo idx) const {
-  return acked_[static_cast<std::size_t>(dst)].contains(idx) ||
-         rollback_last_send_[static_cast<std::size_t>(dst)] >= idx;
-}
-
-void Process::throw_if_dead() {
-  if (killed_.load(std::memory_order_acquire)) throw Killed{};
-  if (aborted_.load(std::memory_order_acquire)) throw JobAborted{};
-}
-
-// ---------------------------------------------------------------------------
-// application API
-// ---------------------------------------------------------------------------
-
-void Process::send(int dst, int tag, std::span<const std::uint8_t> payload) {
-  throw_if_dead();
-  WINDAR_CHECK(dst >= 0 && dst < params_.n) << "send to bad rank " << dst;
-  if (debug_breadcrumbs()) {
-    std::scoped_lock lock(mu_);
-    last_api_ = "send dst=" + std::to_string(dst) + " tag=" +
-                std::to_string(tag);
-  }
-  SeqNo idx;
-  bool suppressed;
-  {
-    std::scoped_lock lock(mu_);
-    idx = ++last_send_[static_cast<std::size_t>(dst)];
-
-    const std::int64_t t0 = util::now_ns();
-    Piggyback pb = proto_->on_send(dst, idx);
-    metrics_.track_send_ns += util::now_ns() - t0;
-
-    ++metrics_.app_sent;
-    metrics_.piggyback_idents += pb.idents;
-    metrics_.piggyback_bytes += pb.blob.size();
-    metrics_.payload_bytes += payload.size();
-
-    net::Packet p = make_app_packet(dst, tag, idx, pb.blob, payload);
-
-    LogEntry e;
-    e.send_index = idx;
-    e.tag = tag;
-    e.meta = std::move(pb.blob);
-    e.payload.assign(payload.begin(), payload.end());
-    log_.append(dst, std::move(e));
-    metrics_.log_peak_bytes =
-        std::max<std::uint64_t>(metrics_.log_peak_bytes, log_.bytes());
-    metrics_.log_peak_entries =
-        std::max<std::uint64_t>(metrics_.log_peak_entries, log_.entries());
-
-    if (params_.trace) {
-      TraceEvent ev;
-      ev.kind = TraceEvent::Kind::kSend;
-      ev.rank = params_.rank;
-      ev.incarnation = params_.incarnation;
-      ev.peer = dst;
-      ev.pair_index = idx;
-      params_.trace->record(std::move(ev));
-    }
-
-    // Algorithm 1 line 10: suppress re-sends the receiver confirmed.
-    suppressed = idx <= rollback_last_send_[static_cast<std::size_t>(dst)];
-    if (suppressed) {
-      ++metrics_.suppressed_sends;
-    } else {
-      ++metrics_.app_transmitted;
-      transmit(std::move(p));
-    }
-  }
-
-  if (params_.mode == SendMode::kBlocking && !suppressed) {
-    // Synchronous-send semantics: wait for the receiver to accept, serving
-    // our own inbox meanwhile so recovery traffic keeps flowing.
-    const std::int64_t t0 = util::now_ns();
-    while (true) {
-      {
-        std::scoped_lock lock(mu_);
-        if (is_acked_locked(dst, idx)) break;
-      }
-      pump_once(Clock::now() + kTick);
-    }
-    std::scoped_lock lock(mu_);
-    metrics_.send_block_ns += util::now_ns() - t0;
-  }
-}
-
-mp::Message Process::recv(int src, int tag) {
-  throw_if_dead();
-  if (debug_breadcrumbs()) {
-    std::scoped_lock lock(mu_);
-    last_api_ = "recv src=" + std::to_string(src) + " tag=" +
-                std::to_string(tag);
-  }
-  if (params_.mode == SendMode::kNonBlocking) {
-    std::unique_lock lock(mu_);
-    while (true) {
-      const std::size_t at = find_deliverable_locked(src, tag);
-      if (at != kNpos) {
-        mp::Message msg = deliver_locked(at);
-        // Pessimistic logging: hold the delivery until its determinant is
-        // confirmed stable (the synchronous-logging latency cost).
-        const SeqNo seq = delivered_total_;
-        while (proto_->pessimistic() && !proto_->stable_upto(seq)) {
-          cv_.wait_for(lock, kTick);
-          if (killed_.load(std::memory_order_acquire)) throw Killed{};
-          if (aborted_.load(std::memory_order_acquire)) throw JobAborted{};
-        }
-        return msg;
-      }
-      cv_.wait_for(lock, kTick);
-      if (killed_.load(std::memory_order_acquire)) throw Killed{};
-      if (aborted_.load(std::memory_order_acquire)) throw JobAborted{};
-    }
-  }
-  // Blocking mode: single-threaded; pump the inbox ourselves.
-  while (true) {
-    mp::Message msg;
-    bool delivered = false;
-    SeqNo seq = 0;
-    {
-      std::scoped_lock lock(mu_);
-      const std::size_t at = find_deliverable_locked(src, tag);
-      if (at != kNpos) {
-        msg = deliver_locked(at);
-        delivered = true;
-        seq = delivered_total_;
-      }
-    }
-    if (delivered) {
-      while (true) {
-        {
-          std::scoped_lock lock(mu_);
-          if (!proto_->pessimistic() || proto_->stable_upto(seq)) break;
-        }
-        pump_once(Clock::now() + kTick);
-      }
-      return msg;
-    }
-    pump_once(Clock::now() + kTick);
-  }
-}
-
-bool Process::probe(int src, int tag) {
-  throw_if_dead();
-  if (params_.mode == SendMode::kBlocking) {
-    // Single-threaded: opportunistically drain already-arrived packets.
-    while (auto p = fabric_.endpoint(params_.rank).inbox().try_pop()) {
-      std::scoped_lock lock(mu_);
-      handle_packet_locked(std::move(*p));
-    }
-  }
-  std::scoped_lock lock(mu_);
-  return find_deliverable_locked(src, tag) != kNpos;
-}
-
-void Process::checkpoint(std::span<const std::uint8_t> app_state) {
-  throw_if_dead();
-  std::scoped_lock lock(mu_);
-  CheckpointImage image;
-  image.ckpt_seq = ++ckpt_seq_;
-  image.app.assign(app_state.begin(), app_state.end());
-  util::ByteWriter pw;
-  proto_->save(pw);
-  image.proto = pw.take();
-  image.last_send = last_send_;
-  image.last_deliver = last_deliver_;
-  image.delivered_total = delivered_total_;
-  util::ByteWriter lw;
-  log_.save(lw);
-  image.log = lw.take();
-  store_.save(params_.rank, image);
-  ++metrics_.checkpoints;
-  if (params_.trace) {
-    TraceEvent ev;
-    ev.kind = TraceEvent::Kind::kCheckpoint;
-    ev.rank = params_.rank;
-    ev.incarnation = params_.incarnation;
-    ev.deliver_seq = delivered_total_;
-    params_.trace->record(std::move(ev));
-  }
-
-  // Algorithm 1 lines 34-37: let peers release logs we can never replay.
-  for (int k = 0; k < params_.n; ++k) {
-    const auto ks = static_cast<std::size_t>(k);
-    if (last_deliver_[ks] <= last_ckpt_deliver_[ks]) continue;
-    if (k == params_.rank) {
-      // Self channel: release locally.
-      metrics_.log_released_entries +=
-          log_.release_upto(k, last_deliver_[ks]);
-      proto_->on_peer_checkpoint(k, delivered_total_);
-    } else {
-      util::ByteWriter w;
-      w.u32(delivered_total_);
-      send_control(k, Kind::kCheckpointAdvance, last_deliver_[ks], w.take());
-    }
-    last_ckpt_deliver_[ks] = last_deliver_[ks];
-  }
-  if (proto_->uses_event_logger()) {
-    // The logger can discard determinants the checkpoint now covers.
-    send_control(params_.logger_endpoint, Kind::kCheckpointAdvance,
-                 delivered_total_, {});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// delivery
-// ---------------------------------------------------------------------------
-
-std::size_t Process::find_deliverable_locked(int src, int tag) const {
-  if (!gather_done_) return kNpos;  // PWD protocols: determinants first
-  for (std::size_t i = 0; i < queue_b_.size(); ++i) {
-    const QueuedMsg& m = queue_b_[i];
-    if (src != mp::kAnySource && m.src != src) continue;
-    if (tag != mp::kAnyTag && m.tag != tag) continue;
-    // Per-pair FIFO (Algorithm 1 line 19).
-    if (m.send_index != last_deliver_[static_cast<std::size_t>(m.src)] + 1) {
-      continue;
-    }
-    if (!proto_->deliverable(m, delivered_total_)) continue;
-    return i;
-  }
-  return kNpos;
-}
-
-mp::Message Process::deliver_locked(std::size_t at) {
-  QueuedMsg m = std::move(queue_b_[at]);
-  queue_b_.erase(queue_b_.begin() + static_cast<std::ptrdiff_t>(at));
-
-  ++last_deliver_[static_cast<std::size_t>(m.src)];
-  ++delivered_total_;
-
-  if (params_.trace) {
-    TraceEvent ev;
-    ev.kind = TraceEvent::Kind::kDeliver;
-    ev.rank = params_.rank;
-    ev.incarnation = params_.incarnation;
-    ev.peer = m.src;
-    ev.pair_index = m.send_index;
-    ev.deliver_seq = delivered_total_;
-    ev.depend_self = proto_->depend_on_receiver(m);
-    params_.trace->record(std::move(ev));
-  }
-
-  const std::int64_t t0 = util::now_ns();
-  proto_->on_deliver(m.src, m.send_index, delivered_total_, m.meta);
-  metrics_.track_deliver_ns += util::now_ns() - t0;
-  ++metrics_.app_delivered;
-
-  if (proto_->uses_event_logger()) {
-    // Ship the fresh determinant to stable storage immediately ([5] logs
-    // each event as it happens); batching folds bursts together.
-    flush_tel_locked(false);
-  }
-
-  if (params_.mode == SendMode::kBlocking && !m.eager_acked) {
-    // Rendezvous completion: the sender is released only now that the
-    // application has actually consumed the large payload.
-    send_ack_locked(m.src, m.send_index);
-  }
-
-  mp::Message out;
-  out.src = m.src;
-  out.tag = m.tag;
-  out.payload = std::move(m.payload);
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// event handling
-// ---------------------------------------------------------------------------
-
-void Process::pump_once(Clock::time_point deadline) {
-  throw_if_dead();
-  auto p = fabric_.endpoint(params_.rank).inbox().pop_until(deadline);
-  if (!p && fabric_.endpoint(params_.rank).inbox().poisoned()) {
-    // Either we were fault-injected (throw Killed) or the job is being torn
-    // down around us (throw JobAborted).
-    if (killed_.load(std::memory_order_acquire)) throw Killed{};
-    throw JobAborted{};
-  }
-  std::scoped_lock lock(mu_);
-  if (p) handle_packet_locked(std::move(*p));
-  periodic_locked();
-}
-
-bool Process::handle_packet_locked(net::Packet&& p) {
+bool Process::dispatch(net::Packet&& p) {
   switch (static_cast<Kind>(p.kind)) {
     case Kind::kApp:
-      handle_app_locked(std::move(p));
+      delivery_.admit(std::move(p));
       return true;
     case Kind::kDeliverAck:
-      acked_[static_cast<std::size_t>(p.src)].add(static_cast<SeqNo>(p.seq));
+      channels_.record_ack(p.src, static_cast<SeqNo>(p.seq));
       return true;  // a blocking send may be waiting on this
-    case Kind::kCheckpointAdvance: {
-      metrics_.log_released_entries +=
-          log_.release_upto(p.src, static_cast<SeqNo>(p.seq));
-      util::ByteReader r(p.payload);
-      proto_->on_peer_checkpoint(p.src, r.u32());
+    case Kind::kCheckpointAdvance:
+      recovery_.handle_checkpoint_advance(std::move(p));
       return false;
-    }
-    case Kind::kRollback: {
-      util::ByteReader r(p.payload);
-      handle_rollback_locked(p.src, static_cast<std::uint32_t>(p.seq),
-                             r.u32_vec());
+    case Kind::kRollback:
+      recovery_.handle_rollback(p.src, static_cast<std::uint32_t>(p.seq),
+                                decode_rollback_body(p.payload));
       return false;
-    }
     case Kind::kResponse:
-      handle_response_locked(p.src, std::move(p));
+      recovery_.handle_response(p.src, std::move(p));
       return true;  // may complete the determinant gather / unblock sends
     case Kind::kTelAck:
-      proto_->on_logger_ack(static_cast<SeqNo>(p.seq));
+      tracker_.with([&](LoggingProtocol& proto) {
+        proto.on_logger_ack(static_cast<SeqNo>(p.seq));
+      });
       // A pessimistic delivery may be holding for this stability advance.
-      return proto_->pessimistic();
-    case Kind::kTelQueryReply: {
-      util::ByteReader r(p.payload);
-      const auto dets = read_determinants(r);
-      proto_->add_replay_determinants(dets);
-      logger_reply_pending_ = false;
-      update_gather_done_locked();
+      return tracker_.pessimistic();
+    case Kind::kTelQueryReply:
+      recovery_.handle_tel_query_reply(std::move(p));
       return true;
-    }
     default:
       WINDAR_CHECK(false) << "rank " << params_.rank
                           << " got unexpected kind " << p.kind;
@@ -524,168 +110,84 @@ bool Process::handle_packet_locked(net::Packet&& p) {
   return false;
 }
 
-void Process::handle_app_locked(net::Packet&& p) {
-  const int src = p.src;
-  const auto idx = static_cast<SeqNo>(p.seq);
-  const bool ack_enabled = params_.mode == SendMode::kBlocking;
-
-  if (idx <= last_deliver_[static_cast<std::size_t>(src)]) {
-    // Repetitive message (paper §III.C.3): already delivered — discard, but
-    // re-ack so a blocked sender is released.
-    ++metrics_.dup_dropped;
-    if (ack_enabled) send_ack_locked(src, idx);
-    return;
-  }
-  for (const QueuedMsg& q : queue_b_) {
-    if (q.src == src && q.send_index == idx) {
-      ++metrics_.dup_dropped;  // duplicate of a still-queued message
-      if (ack_enabled && q.eager_acked) {
-        // The original's eager ack may have gone to a sender incarnation
-        // that has since died; the retransmitting incarnation is blocked on
-        // this ack, so repeat it (acks are idempotent).
-        send_ack_locked(src, idx);
+void Process::periodic() {
+  recovery_.periodic();
+  if (tracker_.uses_event_logger()) {
+    bool due = false;
+    {
+      std::scoped_lock lock(tel_mu_);
+      const auto now = Clock::now();
+      if (now - last_tel_flush_ >= params_.tel_flush_interval) {
+        last_tel_flush_ = now;
+        due = true;
       }
-      return;
     }
-  }
-  QueuedMsg m;
-  m.src = src;
-  m.tag = p.tag;
-  m.send_index = idx;
-  m.meta = std::move(p.meta);
-  m.payload = std::move(p.payload);
-  if (ack_enabled &&
-      (m.payload.size() <= params_.eager_threshold || src == params_.rank)) {
-    // Eager acceptance; self-channel messages are always eager (the sender
-    // is the thread that will eventually consume them).
-    send_ack_locked(src, idx);
-    m.eager_acked = true;
-  }
-  queue_b_.push_back(std::move(m));
-}
-
-void Process::handle_rollback_locked(int from, std::uint32_t peer_epoch,
-                                     const std::vector<SeqNo>& ldi) {
-  WINDAR_CHECK_EQ(ldi.size(), static_cast<std::size_t>(params_.n))
-      << "bad rollback vector";
-  auto& epoch = peer_epoch_[static_cast<std::size_t>(from)];
-  if (peer_epoch >= epoch) {
-    epoch = peer_epoch;
-    // The peer rolled back: any suppression watermark learned from an
-    // earlier incarnation overstates what it has delivered.  Reset to the
-    // restored value it just announced so rolling-forward re-sends reach it.
-    rollback_last_send_[static_cast<std::size_t>(from)] =
-        ldi[static_cast<std::size_t>(params_.rank)];
-  }
-
-  // Algorithm 1 lines 47-51 — but resends go out BEFORE the response.  A
-  // RESPONSE therefore certifies that every logged message the peer needs
-  // is already in flight; if we crash mid-resend the peer never sees our
-  // response, keeps retrying its ROLLBACK, and our incarnation serves it.
-  log_.for_each_from(from, ldi[static_cast<std::size_t>(params_.rank)],
-                     [&](const LogEntry& e) {
-                       net::Packet p = make_app_packet(
-                           from, e.tag, e.send_index, e.meta, e.payload);
-                       ++metrics_.resent_msgs;
-                       fabric_.send(std::move(p));
-                     });
-
-  util::ByteWriter w;
-  w.u32(last_deliver_[static_cast<std::size_t>(from)]);
-  write_determinants(w, proto_->determinants_for(from));
-  send_control(from, Kind::kResponse, params_.incarnation, w.take());
-}
-
-void Process::handle_response_locked(int from, net::Packet&& p) {
-  util::ByteReader r(p.payload);
-  const SeqNo their_deliver_of_mine = r.u32();
-  const auto dets = read_determinants(r);
-  const auto resp_epoch = static_cast<std::uint32_t>(p.seq);
-  auto& epoch = peer_epoch_[static_cast<std::size_t>(from)];
-  auto& watermark = rollback_last_send_[static_cast<std::size_t>(from)];
-  if (resp_epoch > epoch) {
-    // First contact with a newer incarnation of the peer.
-    epoch = resp_epoch;
-    watermark = their_deliver_of_mine;
-  } else if (resp_epoch == epoch) {
-    watermark = std::max(watermark, their_deliver_of_mine);
-  }
-  // A response from an older incarnation still carries valid determinants
-  // (they are facts about past deliveries), just a stale watermark.
-  proto_->add_replay_determinants(dets);
-  if (recovering_ && !response_seen_[static_cast<std::size_t>(from)]) {
-    response_seen_[static_cast<std::size_t>(from)] = 1;
-    --responses_pending_;
-    update_gather_done_locked();
+    if (due) flush_tel(false);
   }
 }
 
-void Process::periodic_locked() {
-  const auto now = Clock::now();
-  if (recovering_ && (responses_pending_ > 0 || logger_reply_pending_) &&
-      now - last_rollback_bcast_ >= params_.rollback_retry) {
-    // Peers that were down when we broadcast (simultaneous failures) never
-    // saw the ROLLBACK; retry until everyone answered.
-    broadcast_rollback_locked();
-  }
-  if (proto_->uses_event_logger() &&
-      now - last_tel_flush_ >= params_.tel_flush_interval) {
-    flush_tel_locked(false);
-    last_tel_flush_ = now;
-  }
-}
-
-void Process::flush_tel_locked(bool force) {
+void Process::flush_tel(bool force) {
   while (true) {
-    auto batch = proto_->take_unlogged(params_.tel_batch);
+    auto batch = tracker_.with([&](LoggingProtocol& proto) {
+      return proto.take_unlogged(params_.tel_batch);
+    });
     if (batch.empty()) return;
     util::ByteWriter w;
     write_determinants(w, batch);
-    send_control(params_.logger_endpoint, Kind::kTelLog, 0, w.take());
+    send_path_.send_control(params_.logger_endpoint, Kind::kTelLog, 0,
+                            w.take());
     if (!force && batch.size() < params_.tel_batch) return;
   }
 }
 
 // ---------------------------------------------------------------------------
-// helper threads (non-blocking mode)
+// application API
 // ---------------------------------------------------------------------------
 
-void Process::recv_loop() {
-  auto& inbox = fabric_.endpoint(params_.rank).inbox();
+void Process::send(int dst, int tag, std::span<const std::uint8_t> payload) {
+  life_.throw_if_dead();
+  WINDAR_CHECK(dst >= 0 && dst < params_.n) << "send to bad rank " << dst;
+  breadcrumb("send dst", dst, tag);
+  send_path_.send_app(dst, tag, payload);
+}
+
+mp::Message Process::recv(int src, int tag) {
+  life_.throw_if_dead();
+  breadcrumb("recv src", src, tag);
+  if (params_.mode == SendMode::kNonBlocking) {
+    return delivery_.recv_wait(src, tag, life_);
+  }
+  // Blocking mode: single-threaded; pump the inbox ourselves.
+  const bool pessimistic = tracker_.pessimistic();
   while (true) {
-    // Idle-block unless timed work is pending (rollback retries during
-    // recovery) — helper-thread wakeups are pure overhead otherwise.
-    Clock::duration tick = std::chrono::milliseconds(100);
-    {
-      std::scoped_lock lock(mu_);
-      if (recovering_ && (responses_pending_ > 0 || logger_reply_pending_)) {
-        tick = std::chrono::milliseconds(1);
+    if (auto d = delivery_.try_deliver(src, tag)) {
+      // Pessimistic logging: hold the delivery until its determinant is
+      // confirmed stable (the synchronous-logging latency cost).
+      while (pessimistic && !tracker_.with([&](const LoggingProtocol& p) {
+               return p.stable_upto(d->deliver_seq);
+             })) {
+        send_path_.pump_once(Clock::now() + std::chrono::microseconds(2000));
       }
+      return std::move(d->msg);
     }
-    auto p = inbox.pop_until(Clock::now() + tick);
-    bool wake = false;
-    {
-      std::scoped_lock lock(mu_);
-      if (closing_) return;
-      if (p) {
-        wake = handle_packet_locked(std::move(*p));
-      } else if (inbox.poisoned()) {
-        if (!killed_.load(std::memory_order_acquire)) {
-          aborted_.store(true, std::memory_order_release);
-        }
-        cv_.notify_all();
-        return;
-      }
-      periodic_locked();
-    }
-    if (wake) cv_.notify_all();
+    send_path_.pump_once(Clock::now() + std::chrono::microseconds(2000));
   }
 }
 
-void Process::send_loop() {
-  while (auto p = queue_a_.pop()) {
-    fabric_.send(std::move(*p));
+bool Process::probe(int src, int tag) {
+  life_.throw_if_dead();
+  if (params_.mode == SendMode::kBlocking) {
+    // Single-threaded: opportunistically drain already-arrived packets.
+    while (auto p = fabric_.endpoint(params_.rank).inbox().try_pop()) {
+      dispatch(std::move(*p));
+    }
   }
+  return delivery_.has_deliverable(src, tag);
+}
+
+void Process::checkpoint(std::span<const std::uint8_t> app_state) {
+  life_.throw_if_dead();
+  recovery_.checkpoint(app_state);
 }
 
 // ---------------------------------------------------------------------------
@@ -693,9 +195,9 @@ void Process::send_loop() {
 // ---------------------------------------------------------------------------
 
 void Process::poison() {
-  killed_.store(true, std::memory_order_release);
-  queue_a_.poison();
-  cv_.notify_all();
+  life_.killed.store(true, std::memory_order_release);
+  send_path_.poison();
+  delivery_.notify();
 }
 
 void Process::park(const std::atomic<bool>& all_done) {
@@ -703,56 +205,28 @@ void Process::park(const std::atomic<bool>& all_done) {
     if (params_.mode == SendMode::kNonBlocking) {
       // The receiver thread keeps serving; just stay alive.
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      throw_if_dead();
+      life_.throw_if_dead();
     } else {
-      pump_once(Clock::now() + std::chrono::milliseconds(1));
+      send_path_.pump_once(Clock::now() + std::chrono::milliseconds(1));
     }
   }
-}
-
-Metrics Process::metrics() const {
-  std::scoped_lock lock(mu_);
-  return metrics_;
-}
-
-SeqNo Process::delivered_total() const {
-  std::scoped_lock lock(mu_);
-  return delivered_total_;
-}
-
-std::size_t Process::log_entries() const {
-  std::scoped_lock lock(mu_);
-  return log_.entries();
-}
-
-std::size_t Process::receive_queue_depth() const {
-  std::scoped_lock lock(mu_);
-  return queue_b_.size();
 }
 
 std::string Process::debug_state() const {
-  std::scoped_lock lock(mu_);
-  std::string out = "[" + last_api_ + "] rank " + std::to_string(params_.rank) + "." +
-                    std::to_string(params_.incarnation) +
-                    (recovering_ ? " RECOVERING" : "") +
-                    (gather_done_ ? "" : " gather-pending") +
-                    " resp_pending=" + std::to_string(responses_pending_) +
-                    " delivered=" + std::to_string(delivered_total_) +
-                    " queueB=" + std::to_string(queue_b_.size()) + " [";
-  for (const QueuedMsg& m : queue_b_) {
-    out += " (" + std::to_string(m.src) + "#" +
-           std::to_string(m.send_index) + " t" + std::to_string(m.tag) + ")";
-    if (out.size() > 300) {
-      out += " ...";
-      break;
-    }
+  std::string api;
+  {
+    std::scoped_lock lock(dbg_mu_);
+    api = last_api_;
   }
-  out += " ] " + proto_->debug_string() + " last_deliver=";
-  for (SeqNo v : last_deliver_) out += std::to_string(v) + ",";
-  out += " last_send=";
-  for (SeqNo v : last_send_) out += std::to_string(v) + ",";
-  out += " rb_last_send=";
-  for (SeqNo v : rollback_last_send_) out += std::to_string(v) + ",";
+  std::string out = "[" + api + "] rank " + std::to_string(params_.rank) +
+                    "." + std::to_string(params_.incarnation) +
+                    recovery_.debug_string() +
+                    " delivered=" + std::to_string(channels_.delivered_total()) +
+                    " " + delivery_.debug_string() + " " +
+                    tracker_.with([](const LoggingProtocol& proto) {
+                      return proto.debug_string();
+                    }) +
+                    " " + channels_.debug_string();
   return out;
 }
 

@@ -1,79 +1,45 @@
 // The per-rank rollback-recovery layer (the paper's WINDAR component,
 // Fig. 4/5): embedded between the application and the simulated transport.
 //
-// Responsibilities (protocol-independent, Algorithm 1):
-//   * per-pair send/deliver counters (last_send_index / last_deliver_index)
-//   * sender-based message logging and CHECKPOINT_ADVANCE log release
-//   * duplicate filtering (send_index <= last_deliver_index -> discard)
-//   * send suppression during rolling forward (rollback_last_send_index)
-//   * ROLLBACK / RESPONSE recovery choreography, with periodic re-broadcast
-//     so simultaneous multi-rank failures converge
-//   * the receiving queue and the delivery gate (per-pair FIFO + the
-//     protocol's LoggingProtocol::deliverable constraint)
+// Process is a thin façade over the recovery engine's components:
 //
-// Send paths (paper §III.E, Fig. 4):
-//   kBlocking     — the app thread transmits and then waits for the
-//                   receiver's acceptance ack, pumping its own inbox while
-//                   it waits (single-threaded MPICH-style sync sends).
-//                   Small messages are acked on arrival (eager); payloads
-//                   above eager_threshold are acked only when the receiver
-//                   application actually consumes them (rendezvous).
-//   kNonBlocking  — sends are buffered in queue A and transmitted by a
-//                   sender thread; a receiver thread drains the endpoint
-//                   inbox into queue B; the app thread never blocks on a
-//                   peer, dead or alive.
+//   ChannelState     per-pair counters, ack/suppression watermarks
+//   SenderLog        sender-based message log (internally locked)
+//   ProtocolHost     the LoggingProtocol behind its own lock
+//   SendPath         transmit paths, queue A, helper threads, event pump
+//   RecoveryManager  checkpoint/restore + ROLLBACK/RESPONSE choreography
+//   DeliveryQueue    queue B, delivery gate, app-thread waits
 //
-// Thread-safety: every member below is guarded by mu_ unless noted.  The
-// application thread is the only caller of send/recv/checkpoint.
+// Process itself only wires them together, routes incoming packets
+// (`dispatch`), and runs timed work (`periodic`).  The application thread is
+// the only caller of send/recv/probe/checkpoint; exactly one thread per
+// engine dispatches packets (the receiver thread in non-blocking mode, the
+// application thread in blocking mode).  See DESIGN.md "Engine architecture"
+// for the component graph and lock order.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <optional>
-#include <thread>
-#include <vector>
+#include <string>
 
 #include "mp/comm.h"
 #include "net/fabric.h"
+#include "windar/channel_state.h"
 #include "windar/checkpoint.h"
+#include "windar/delivery_queue.h"
+#include "windar/fault.h"
 #include "windar/metrics.h"
+#include "windar/params.h"
 #include "windar/protocol.h"
+#include "windar/recovery_manager.h"
+#include "windar/send_path.h"
 #include "windar/sender_log.h"
-#include "windar/seqset.h"
 #include "windar/trace.h"
 #include "windar/wire.h"
 
 namespace windar::ft {
-
-/// Thrown into the application thread when this rank is fault-injected.
-struct Killed {};
-
-/// Thrown when the job is being torn down abnormally (another rank raised an
-/// application error); unwinds the rank function without triggering recovery.
-struct JobAborted {};
-
-struct ProcessParams {
-  int rank = 0;
-  int n = 0;
-  ProtocolKind protocol = ProtocolKind::kTdi;
-  SendMode mode = SendMode::kNonBlocking;
-  std::size_t eager_threshold = 8 * 1024;
-  std::chrono::milliseconds rollback_retry{25};
-  int logger_endpoint = -1;  // >= 0 when the protocol uses the event logger
-  std::size_t tel_batch = 32;
-  std::chrono::microseconds tel_flush_interval{50};
-  // Paper Fig. 4(b) uses a dedicated sending thread because real transports
-  // block in send().  The simulated fabric's send never blocks, so by
-  // default the application thread hands packets to the fabric directly and
-  // the sending thread is opt-in (it only adds a scheduling hop here).
-  bool sender_thread = false;
-  // Optional causal-event recorder (owned by the caller, shared by ranks).
-  TraceSink* trace = nullptr;
-  std::uint32_t incarnation = 0;  // 0 = original process
-};
 
 class Process {
  public:
@@ -106,7 +72,7 @@ class Process {
   /// Application state from the restored checkpoint, if this incarnation had
   /// one; nullopt on fresh start or restart-from-scratch.
   const std::optional<util::Bytes>& restored_app_state() const {
-    return restored_app_;
+    return recovery_.restored_app();
   }
 
   // ---- runtime-facing ----
@@ -121,11 +87,11 @@ class Process {
   /// done.  Called on the application thread.
   void park(const std::atomic<bool>& all_done);
 
-  Metrics metrics() const;
-  SeqNo delivered_total() const;
-  const LoggingProtocol& protocol_for_test() const { return *proto_; }
-  std::size_t log_entries() const;
-  std::size_t receive_queue_depth() const;
+  Metrics metrics() const { return metrics_.snapshot(); }
+  SeqNo delivered_total() const { return channels_.delivered_total(); }
+  const LoggingProtocol& protocol_for_test() const { return tracker_.raw(); }
+  std::size_t log_entries() const { return log_.entries(); }
+  std::size_t receive_queue_depth() const { return delivery_.depth(); }
 
   /// One-line diagnostic snapshot (recovery state, queue depths, counters)
   /// for the runtime's stall watchdog.
@@ -134,95 +100,36 @@ class Process {
  private:
   using Clock = std::chrono::steady_clock;
 
-  // ---- setup / recovery ----
-  void restore_from_checkpoint();   // ctor helper (recovering)
-  void broadcast_rollback_locked();
-  void update_gather_done_locked();
+  /// Routes one incoming packet to its component.  Returns true if the
+  /// packet changed state the application thread may be waiting on (queue B,
+  /// acks, responses) — i.e. whether to wake it.
+  bool dispatch(net::Packet&& p);
 
-  // ---- event handling ----
-  /// Returns true if the packet changed state the application thread may be
-  /// waiting on (queue B, acks, responses) — i.e. whether to signal cv_.
-  bool handle_packet_locked(net::Packet&& p);
-  void handle_app_locked(net::Packet&& p);
-  void handle_rollback_locked(int from, std::uint32_t peer_epoch,
-                              const std::vector<SeqNo>& ldi);
-  void handle_response_locked(int from, net::Packet&& p);
-  void periodic_locked();
-  void flush_tel_locked(bool force);
+  /// Timed work: ROLLBACK re-broadcast, TEL determinant flush.
+  void periodic();
+  void flush_tel(bool force);
 
-  /// Blocking-mode event pump: pops at most one packet (bounded by
-  /// `deadline`), dispatches it, runs periodic work.  Throws Killed /
-  /// JobAborted as appropriate.
-  void pump_once(Clock::time_point deadline);
-
-  // ---- delivery ----
-  /// Index into queue_b_ of the first message passing filters + FIFO +
-  /// protocol gate, or npos.
-  std::size_t find_deliverable_locked(int src, int tag) const;
-  mp::Message deliver_locked(std::size_t at);
-
-  // ---- transmission ----
-  void transmit(net::Packet p);  // queue A (non-blocking) or direct
-  net::Packet make_app_packet(int dst, int tag, SeqNo idx,
-                              const util::Bytes& meta,
-                              std::span<const std::uint8_t> payload) const;
-  void send_control(int dst, Kind kind, std::uint64_t seq,
-                    util::Bytes payload);
-  void send_ack_locked(int dst, SeqNo idx);
-  bool is_acked_locked(int dst, SeqNo idx) const;
-
-  void throw_if_dead();
+  void breadcrumb(const char* api, int a, int b);
   static bool debug_breadcrumbs();
-
-  // ---- helper threads (non-blocking mode) ----
-  void recv_loop();
-  void send_loop();
 
   net::Fabric& fabric_;
   CheckpointStore& store_;
   ProcessParams params_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // app-thread wakeups: queue B, acks, gather
-  std::atomic<bool> killed_{false};
-  std::atomic<bool> aborted_{false};  // job teardown without fault semantics
-  bool closing_ = false;              // destructor in progress
-
-  std::unique_ptr<LoggingProtocol> proto_;
+  LifeFlags life_;
+  SharedMetrics metrics_;
+  ChannelState channels_;
   SenderLog log_;
-  Metrics metrics_;
+  ProtocolHost tracker_;
+  SendPath send_path_;
+  RecoveryManager recovery_;
+  DeliveryQueue delivery_;
 
-  // Algorithm 1 counters (all per-pair, 1-based)
-  std::vector<SeqNo> last_send_;
-  std::vector<SeqNo> last_deliver_;
-  std::vector<SeqNo> last_ckpt_deliver_;
-  std::vector<SeqNo> rollback_last_send_;
-  SeqNo delivered_total_ = 0;
-  std::uint64_t ckpt_seq_ = 0;
-
-  std::deque<QueuedMsg> queue_b_;     // receiving queue (paper's queue B)
-  std::vector<SeqSet> acked_;         // per-destination accepted send indices
-
-  // recovery state
-  bool recovering_ = false;
-  bool gather_done_ = true;  // false while a PWD protocol gathers determinants
-  std::vector<std::uint32_t> peer_epoch_;  // highest incarnation seen per peer
-  std::vector<char> response_seen_;
-  int responses_pending_ = 0;
-  bool logger_reply_pending_ = false;
-  Clock::time_point last_rollback_bcast_{};
-  std::optional<util::Bytes> restored_app_;
-
+  std::mutex tel_mu_;  // guards the flush timer (handler + app threads)
   Clock::time_point last_tel_flush_{};
+
+  mutable std::mutex dbg_mu_;
   std::string last_api_;  // watchdog breadcrumb: current app-thread call
-
-  // non-blocking mode plumbing
-  util::BlockingQueue<net::Packet> queue_a_;  // outgoing (paper's queue A)
-  std::thread recv_thread_;
-  std::thread send_thread_;
-
-  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-  static constexpr std::chrono::microseconds kTick{2000};
 };
 
 }  // namespace windar::ft

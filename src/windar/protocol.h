@@ -12,12 +12,13 @@
 //   TagProtocol  — antecedence-graph baseline (strict PWD replay)
 //   TelProtocol  — event-logger baseline (strict PWD replay, async stability)
 //
-// All methods are invoked with the owning Process's lock held; protocols
-// need no internal synchronization.
+// Protocols need no internal synchronization: all stateful methods are
+// invoked through ProtocolHost::with, which holds the host's lock.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -156,5 +157,42 @@ class LoggingProtocol {
 
 std::unique_ptr<LoggingProtocol> make_protocol(ProtocolKind kind, int rank,
                                                int n);
+
+/// Owns a LoggingProtocol plus the lock that serializes access to it — the
+/// dependency-tracking component of the recovery engine.  Stateful calls go
+/// through `with`; the capability queries below are constant properties of
+/// the protocol kind (they read no mutable state) and need no lock.
+class ProtocolHost {
+ public:
+  explicit ProtocolHost(std::unique_ptr<LoggingProtocol> proto)
+      : proto_(std::move(proto)) {}
+
+  template <typename F>
+  auto with(F&& f) {
+    std::scoped_lock lock(mu_);
+    return f(*proto_);
+  }
+
+  template <typename F>
+  auto with(F&& f) const {
+    std::scoped_lock lock(mu_);
+    return f(static_cast<const LoggingProtocol&>(*proto_));
+  }
+
+  // ---- constant capabilities (lock-free by design) ----
+  ProtocolKind kind() const { return proto_->kind(); }
+  bool pessimistic() const { return proto_->pessimistic(); }
+  bool uses_event_logger() const { return proto_->uses_event_logger(); }
+  bool needs_determinant_gather() const {
+    return proto_->needs_determinant_gather();
+  }
+
+  /// Unlocked introspection for tests that examine a quiesced engine.
+  const LoggingProtocol& raw() const { return *proto_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<LoggingProtocol> proto_;
+};
 
 }  // namespace windar::ft

@@ -1,0 +1,248 @@
+#include "windar/recovery_manager.h"
+
+#include "util/check.h"
+#include "windar/codec.h"
+
+namespace windar::ft {
+
+RecoveryManager::RecoveryManager(net::Fabric& fabric, CheckpointStore& store,
+                                 const ProcessParams& params,
+                                 ChannelState& channels, SenderLog& log,
+                                 ProtocolHost& tracker, SendPath& send_path,
+                                 SharedMetrics& metrics)
+    : fabric_(fabric),
+      store_(store),
+      params_(params),
+      channels_(channels),
+      log_(log),
+      tracker_(tracker),
+      send_path_(send_path),
+      metrics_(metrics),
+      needs_gather_(tracker.needs_determinant_gather()),
+      uses_event_logger_(tracker.uses_event_logger()),
+      response_seen_(static_cast<std::size_t>(params.n), 0) {}
+
+// ---------------------------------------------------------------------------
+// recovering side
+// ---------------------------------------------------------------------------
+
+void RecoveryManager::restore_from_checkpoint() {
+  std::scoped_lock lock(mu_);
+  recovering_ = true;
+  metrics_.update([](Metrics& m) { m.recoveries = 1; });
+  auto image = store_.load(params_.rank);
+  if (image) {
+    restored_app_ = std::move(image->app);
+    util::ByteReader pr(image->proto);
+    tracker_.with([&](LoggingProtocol& proto) { proto.restore(pr); });
+    channels_.restore(std::move(image->last_send),
+                      std::move(image->last_deliver),
+                      image->delivered_total);
+    util::ByteReader lr(image->log);
+    log_.restore(lr);
+    ckpt_seq_ = image->ckpt_seq;
+  }
+  // No RESPONSE will come from ourselves; suppress re-sends we know our own
+  // pre-checkpoint state already covers.
+  response_seen_[static_cast<std::size_t>(params_.rank)] = 1;
+  responses_pending_ = params_.n - 1;
+  logger_reply_pending_ = uses_event_logger_;
+  const auto [last_deliver, delivered_total] = channels_.deliver_snapshot();
+  if (needs_gather_) {
+    tracker_.with(
+        [&](LoggingProtocol& proto) { proto.begin_replay(delivered_total); });
+    gather_done_.store(false, std::memory_order_release);
+  }
+  if (params_.trace) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kRecover;
+    ev.rank = params_.rank;
+    ev.incarnation = params_.incarnation;
+    ev.deliver_seq = delivered_total;
+    ev.restored_deliver = last_deliver;
+    params_.trace->record(std::move(ev));
+  }
+
+  channels_.set_self_rollback_watermark();
+  // Self-channel recovery: logged self-sends that were not yet delivered
+  // must be re-injected locally (no peer will resend them for us).
+  const auto me = static_cast<std::size_t>(params_.rank);
+  log_.for_each_from(params_.rank, last_deliver[me], [&](const LogEntry& e) {
+    metrics_.update([](Metrics& m) { ++m.resent_msgs; });
+    fabric_.send(app_packet(params_.rank, params_.rank, e.tag, e.send_index,
+                            e.meta, e.payload));
+  });
+}
+
+void RecoveryManager::announce_rollback() {
+  std::scoped_lock lock(mu_);
+  broadcast_rollback_locked();
+}
+
+void RecoveryManager::broadcast_rollback_locked() {
+  const auto [last_deliver, delivered_total] = channels_.deliver_snapshot();
+  (void)delivered_total;
+  const util::Bytes payload = encode_rollback_body(last_deliver);
+  for (int j = 0; j < params_.n; ++j) {
+    if (response_seen_[static_cast<std::size_t>(j)]) continue;
+    send_path_.send_control(j, Kind::kRollback, params_.incarnation, payload);
+  }
+  if (logger_reply_pending_) {
+    send_path_.send_control(params_.logger_endpoint, Kind::kTelQuery, 0, {});
+  }
+  last_rollback_bcast_ = Clock::now();
+}
+
+void RecoveryManager::update_gather_done_locked() {
+  if (!needs_gather_) {
+    gather_done_.store(true, std::memory_order_release);
+    return;
+  }
+  gather_done_.store(responses_pending_ == 0 && !logger_reply_pending_,
+                     std::memory_order_release);
+}
+
+bool RecoveryManager::retry_pending() const {
+  std::scoped_lock lock(mu_);
+  return recovering_ && (responses_pending_ > 0 || logger_reply_pending_);
+}
+
+// ---------------------------------------------------------------------------
+// packet handlers
+// ---------------------------------------------------------------------------
+
+void RecoveryManager::handle_rollback(int from, std::uint32_t peer_epoch,
+                                      const std::vector<SeqNo>& ldi) {
+  WINDAR_CHECK_EQ(ldi.size(), static_cast<std::size_t>(params_.n))
+      << "bad rollback vector";
+  const auto me = static_cast<std::size_t>(params_.rank);
+  channels_.observe_rollback(from, peer_epoch, ldi[me]);
+
+  // Algorithm 1 lines 47-51 — but resends go out BEFORE the response.  A
+  // RESPONSE therefore certifies that every logged message the peer needs
+  // is already in flight; if we crash mid-resend the peer never sees our
+  // response, keeps retrying its ROLLBACK, and our incarnation serves it.
+  log_.for_each_from(from, ldi[me], [&](const LogEntry& e) {
+    metrics_.update([](Metrics& m) { ++m.resent_msgs; });
+    fabric_.send(app_packet(params_.rank, from, e.tag, e.send_index, e.meta,
+                            e.payload));
+  });
+
+  ResponseBody body;
+  body.their_deliver_of_mine = channels_.last_deliver_of(from);
+  body.determinants = tracker_.with(
+      [&](const LoggingProtocol& proto) { return proto.determinants_for(from); });
+  send_path_.send_control(from, Kind::kResponse, params_.incarnation,
+                          body.encode());
+}
+
+void RecoveryManager::handle_response(int from, net::Packet&& p) {
+  const ResponseBody body = ResponseBody::decode(p.payload);
+  const auto resp_epoch = static_cast<std::uint32_t>(p.seq);
+  channels_.observe_response(from, resp_epoch, body.their_deliver_of_mine);
+  // A response from an older incarnation still carries valid determinants
+  // (they are facts about past deliveries), just a stale watermark.
+  tracker_.with([&](LoggingProtocol& proto) {
+    proto.add_replay_determinants(body.determinants);
+  });
+  std::scoped_lock lock(mu_);
+  if (recovering_ && !response_seen_[static_cast<std::size_t>(from)]) {
+    response_seen_[static_cast<std::size_t>(from)] = 1;
+    --responses_pending_;
+    update_gather_done_locked();
+  }
+}
+
+void RecoveryManager::handle_tel_query_reply(net::Packet&& p) {
+  util::ByteReader r(p.payload);
+  const auto dets = read_determinants(r);
+  tracker_.with([&](LoggingProtocol& proto) {
+    proto.add_replay_determinants(dets);
+  });
+  std::scoped_lock lock(mu_);
+  logger_reply_pending_ = false;
+  update_gather_done_locked();
+}
+
+void RecoveryManager::handle_checkpoint_advance(net::Packet&& p) {
+  const std::size_t released =
+      log_.release_upto(p.src, static_cast<SeqNo>(p.seq));
+  metrics_.update([&](Metrics& m) { m.log_released_entries += released; });
+  util::ByteReader r(p.payload);
+  const SeqNo peer_delivered_total = r.u32();
+  tracker_.with([&](LoggingProtocol& proto) {
+    proto.on_peer_checkpoint(p.src, peer_delivered_total);
+  });
+}
+
+void RecoveryManager::periodic() {
+  std::scoped_lock lock(mu_);
+  if (recovering_ && (responses_pending_ > 0 || logger_reply_pending_) &&
+      Clock::now() - last_rollback_bcast_ >= params_.rollback_retry) {
+    // Peers that were down when we broadcast (simultaneous failures) never
+    // saw the ROLLBACK; retry until everyone answered.
+    broadcast_rollback_locked();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint plane
+// ---------------------------------------------------------------------------
+
+void RecoveryManager::checkpoint(std::span<const std::uint8_t> app_state) {
+  CheckpointImage image;
+  image.ckpt_seq = ++ckpt_seq_;
+  image.app.assign(app_state.begin(), app_state.end());
+  util::ByteWriter pw;
+  tracker_.with([&](const LoggingProtocol& proto) { proto.save(pw); });
+  image.proto = pw.take();
+  ChannelState::Snapshot snap = channels_.snapshot();
+  image.last_send = std::move(snap.last_send);
+  image.last_deliver = std::move(snap.last_deliver);
+  image.delivered_total = snap.delivered_total;
+  util::ByteWriter lw;
+  log_.save(lw);
+  image.log = lw.take();
+  store_.save(params_.rank, image);
+  metrics_.update([](Metrics& m) { ++m.checkpoints; });
+  if (params_.trace) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kCheckpoint;
+    ev.rank = params_.rank;
+    ev.incarnation = params_.incarnation;
+    ev.deliver_seq = snap.delivered_total;
+    params_.trace->record(std::move(ev));
+  }
+
+  // Algorithm 1 lines 34-37: let peers release logs we can never replay.
+  for (const auto& [peer, upto] : channels_.take_checkpoint_advances()) {
+    if (peer == params_.rank) {
+      // Self channel: release locally.
+      const std::size_t released = log_.release_upto(peer, upto);
+      metrics_.update([&](Metrics& m) { m.log_released_entries += released; });
+      tracker_.with([&](LoggingProtocol& proto) {
+        proto.on_peer_checkpoint(peer, snap.delivered_total);
+      });
+    } else {
+      util::ByteWriter w;
+      w.u32(snap.delivered_total);
+      send_path_.send_control(peer, Kind::kCheckpointAdvance, upto, w.take());
+    }
+  }
+  if (uses_event_logger_) {
+    // The logger can discard determinants the checkpoint now covers.
+    send_path_.send_control(params_.logger_endpoint, Kind::kCheckpointAdvance,
+                            snap.delivered_total, {});
+  }
+}
+
+std::string RecoveryManager::debug_string() const {
+  std::scoped_lock lock(mu_);
+  std::string out;
+  if (recovering_) out += " RECOVERING";
+  if (!gather_done_.load(std::memory_order_acquire)) out += " gather-pending";
+  out += " resp_pending=" + std::to_string(responses_pending_);
+  return out;
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,116 @@
+// Rollback-recovery and checkpoint choreography (Algorithm 1 lines 32-51).
+//
+// On the recovering side: restore the last checkpoint image, broadcast
+// ROLLBACK (with periodic re-broadcast so simultaneous failures converge),
+// collect RESPONSEs — and, for PWD protocols, determinants — until the
+// delivery gate may open.  On the survivor side: answer a peer's ROLLBACK
+// with log-driven resends followed by a RESPONSE, and apply peers'
+// CHECKPOINT_ADVANCE notifications to the sender log.  Also owns the
+// independent-checkpoint path (image assembly and log-release fan-out).
+//
+// The internal mutex guards only the gather bookkeeping (who has responded,
+// broadcast timing); `gather_done_` is additionally exported as an atomic so
+// the DeliveryQueue's gate check never takes a recovery lock.  Lock order:
+// the recovery mutex may be held while taking ChannelState / ProtocolHost /
+// log / metrics locks, never the reverse, and is never held together with
+// the DeliveryQueue's lock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+#include "windar/channel_state.h"
+#include "windar/checkpoint.h"
+#include "windar/metrics.h"
+#include "windar/params.h"
+#include "windar/protocol.h"
+#include "windar/send_path.h"
+#include "windar/sender_log.h"
+
+namespace windar::ft {
+
+class RecoveryManager {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RecoveryManager(net::Fabric& fabric, CheckpointStore& store,
+                  const ProcessParams& params, ChannelState& channels,
+                  SenderLog& log, ProtocolHost& tracker, SendPath& send_path,
+                  SharedMetrics& metrics);
+
+  // ---- recovering side ----
+
+  /// Restores counters, protocol state and sender log from the last
+  /// checkpoint (scratch if none), re-injects undelivered self-channel
+  /// messages, and closes the delivery gate if the protocol must gather
+  /// determinants.  Runs on the constructing thread, before helper threads.
+  void restore_from_checkpoint();
+
+  /// First ROLLBACK broadcast; called once the engine is fully wired (so
+  /// responses racing back are dispatchable).
+  void announce_rollback();
+
+  const std::optional<util::Bytes>& restored_app() const {
+    return restored_app_;
+  }
+
+  /// Delivery gate: false while a PWD protocol's determinant gather is
+  /// incomplete.  Referenced by the DeliveryQueue.
+  const std::atomic<bool>& gate() const { return gather_done_; }
+
+  /// True while ROLLBACK re-broadcasts may still be needed (handler thread
+  /// should poll on a short tick).
+  bool retry_pending() const;
+
+  // ---- packet handlers (single dispatch thread) ----
+
+  void handle_rollback(int from, std::uint32_t peer_epoch,
+                       const std::vector<SeqNo>& ldi);
+  void handle_response(int from, net::Packet&& p);
+  void handle_tel_query_reply(net::Packet&& p);
+  void handle_checkpoint_advance(net::Packet&& p);
+
+  /// Timed work: ROLLBACK re-broadcast while responses are outstanding.
+  void periodic();
+
+  // ---- checkpoint plane (application thread) ----
+
+  void checkpoint(std::span<const std::uint8_t> app_state);
+
+  std::string debug_string() const;
+
+ private:
+  void broadcast_rollback_locked();
+  void update_gather_done_locked();
+
+  net::Fabric& fabric_;
+  CheckpointStore& store_;
+  const ProcessParams& params_;
+  ChannelState& channels_;
+  SenderLog& log_;
+  ProtocolHost& tracker_;
+  SendPath& send_path_;
+  SharedMetrics& metrics_;
+  const bool needs_gather_;
+  const bool uses_event_logger_;
+
+  std::atomic<bool> gather_done_{true};
+
+  mutable std::mutex mu_;
+  bool recovering_ = false;
+  std::vector<char> response_seen_;
+  int responses_pending_ = 0;
+  bool logger_reply_pending_ = false;
+  Clock::time_point last_rollback_bcast_{};
+
+  std::optional<util::Bytes> restored_app_;  // set pre-threads, then const
+  std::uint64_t ckpt_seq_ = 0;               // application thread only
+};
+
+}  // namespace windar::ft

@@ -1,0 +1,163 @@
+#include "windar/send_path.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/clock.h"
+
+namespace windar::ft {
+
+SendPath::SendPath(net::Fabric& fabric, const ProcessParams& params,
+                   LifeFlags& life, ChannelState& channels,
+                   ProtocolHost& tracker, SenderLog& log,
+                   SharedMetrics& metrics)
+    : fabric_(fabric),
+      params_(params),
+      life_(life),
+      channels_(channels),
+      tracker_(tracker),
+      log_(log),
+      metrics_(metrics) {}
+
+SendPath::~SendPath() { stop(); }
+
+void SendPath::start() {
+  if (params_.mode != SendMode::kNonBlocking) return;
+  recv_thread_ = std::thread([this] { recv_loop(); });
+  if (params_.sender_thread) {
+    send_thread_ = std::thread([this] { send_loop(); });
+  }
+}
+
+void SendPath::stop() {
+  closing_.store(true, std::memory_order_release);
+  queue_a_.poison();
+  // Wake a receiver thread blocked on the inbox.  By teardown time the rank
+  // is either dead (inbox already poisoned) or the job is over.
+  fabric_.endpoint(params_.rank).inbox().poison();
+  if (cb_.wake) cb_.wake();
+  if (recv_thread_.joinable()) recv_thread_.join();
+  if (send_thread_.joinable()) send_thread_.join();
+}
+
+void SendPath::poison() { queue_a_.poison(); }
+
+void SendPath::transmit(net::Packet p) {
+  if (params_.mode == SendMode::kNonBlocking && params_.sender_thread) {
+    queue_a_.push(std::move(p));
+  } else {
+    fabric_.send(std::move(p));
+  }
+}
+
+void SendPath::send_control(int dst, Kind kind, std::uint64_t seq,
+                            util::Bytes payload) {
+  metrics_.update([](Metrics& m) { ++m.control_msgs; });
+  fabric_.send(control_packet(params_.rank, dst, kind, seq,
+                              std::move(payload)));
+}
+
+void SendPath::send_app(int dst, int tag,
+                        std::span<const std::uint8_t> payload) {
+  const SeqNo idx = channels_.next_send_index(dst);
+
+  const std::int64_t t0 = util::now_ns();
+  Piggyback pb = tracker_.with(
+      [&](LoggingProtocol& proto) { return proto.on_send(dst, idx); });
+  const std::int64_t track_ns = util::now_ns() - t0;
+
+  net::Packet p = app_packet(params_.rank, dst, tag, idx, pb.blob, payload);
+
+  LogEntry e;
+  e.send_index = idx;
+  e.tag = tag;
+  e.meta = std::move(pb.blob);
+  e.payload.assign(payload.begin(), payload.end());
+  log_.append(dst, std::move(e));
+
+  const std::size_t log_bytes = log_.bytes();
+  const std::size_t log_entries = log_.entries();
+  metrics_.update([&](Metrics& m) {
+    m.track_send_ns += track_ns;
+    ++m.app_sent;
+    m.piggyback_idents += pb.idents;
+    m.piggyback_bytes += p.meta.size();
+    m.payload_bytes += payload.size();
+    m.log_peak_bytes = std::max<std::uint64_t>(m.log_peak_bytes, log_bytes);
+    m.log_peak_entries =
+        std::max<std::uint64_t>(m.log_peak_entries, log_entries);
+  });
+
+  if (params_.trace) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kSend;
+    ev.rank = params_.rank;
+    ev.incarnation = params_.incarnation;
+    ev.peer = dst;
+    ev.pair_index = idx;
+    params_.trace->record(std::move(ev));
+  }
+
+  // Algorithm 1 line 10: suppress re-sends the receiver confirmed.
+  const bool suppressed = channels_.should_suppress(dst, idx);
+  if (suppressed) {
+    metrics_.update([](Metrics& m) { ++m.suppressed_sends; });
+  } else {
+    metrics_.update([](Metrics& m) { ++m.app_transmitted; });
+    transmit(std::move(p));
+  }
+
+  if (params_.mode == SendMode::kBlocking && !suppressed) {
+    // Synchronous-send semantics: wait for the receiver to accept, serving
+    // our own inbox meanwhile so recovery traffic keeps flowing.
+    const std::int64_t b0 = util::now_ns();
+    while (!channels_.is_acked(dst, idx)) {
+      pump_once(Clock::now() + kTick);
+    }
+    const std::int64_t block_ns = util::now_ns() - b0;
+    metrics_.update([&](Metrics& m) { m.send_block_ns += block_ns; });
+  }
+}
+
+void SendPath::pump_once(Clock::time_point deadline) {
+  life_.throw_if_dead();
+  auto& inbox = fabric_.endpoint(params_.rank).inbox();
+  auto p = inbox.pop_until(deadline);
+  if (!p && inbox.poisoned()) {
+    // Either we were fault-injected (throw Killed) or the job is being torn
+    // down around us (throw JobAborted).
+    if (life_.killed.load(std::memory_order_acquire)) throw Killed{};
+    throw JobAborted{};
+  }
+  if (p) cb_.dispatch(std::move(*p));  // same thread: no wakeup needed
+  cb_.periodic();
+}
+
+void SendPath::recv_loop() {
+  auto& inbox = fabric_.endpoint(params_.rank).inbox();
+  while (true) {
+    // Idle-block unless timed work is pending (rollback retries during
+    // recovery) — helper-thread wakeups are pure overhead otherwise.
+    const Clock::duration tick = cb_.urgent() ? std::chrono::milliseconds(1)
+                                              : std::chrono::milliseconds(100);
+    auto p = inbox.pop_until(Clock::now() + tick);
+    if (closing_.load(std::memory_order_acquire)) return;
+    bool wake = false;
+    if (p) {
+      wake = cb_.dispatch(std::move(*p));
+    } else if (inbox.poisoned()) {
+      cb_.transport_closed();
+      return;
+    }
+    cb_.periodic();
+    if (wake) cb_.wake();
+  }
+}
+
+void SendPath::send_loop() {
+  while (auto p = queue_a_.pop()) {
+    fabric_.send(std::move(*p));
+  }
+}
+
+}  // namespace windar::ft

@@ -1,0 +1,110 @@
+// Transmission plane of the recovery engine (paper §III.E, Fig. 4).
+//
+//   kBlocking     — the app thread transmits and then waits for the
+//                   receiver's acceptance ack, pumping its own inbox while
+//                   it waits (single-threaded MPICH-style sync sends).
+//   kNonBlocking  — sends are optionally buffered in queue A and transmitted
+//                   by a sender thread; a receiver thread drains the endpoint
+//                   inbox and dispatches packets; the app thread never blocks
+//                   on a peer, dead or alive.
+//
+// SendPath owns both helper threads and the outgoing queue A, and carries
+// the full application send: index allocation, piggyback, sender logging,
+// rolling-forward suppression, and the blocking-mode ack wait.  Packet
+// handling itself stays above (the Callbacks::dispatch hook) so exactly one
+// thread per engine dispatches — the receiver thread in non-blocking mode,
+// the application thread in blocking mode.
+//
+// No lock of its own: per-call state lives in the components it composes
+// (ChannelState, ProtocolHost, SenderLog, metrics — each internally
+// synchronized) and `closing_` is an atomic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <span>
+#include <thread>
+
+#include "net/fabric.h"
+#include "windar/channel_state.h"
+#include "windar/fault.h"
+#include "windar/metrics.h"
+#include "windar/params.h"
+#include "windar/protocol.h"
+#include "windar/sender_log.h"
+
+namespace windar::ft {
+
+class SendPath {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Callbacks {
+    /// Routes one packet; returns true if application-thread-visible state
+    /// changed (queue B, acks, gather) and a wakeup should follow.
+    std::function<bool(net::Packet&&)> dispatch;
+    /// Timed engine work (rollback re-broadcast, TEL flush).
+    std::function<void()> periodic;
+    /// Wakes the application thread (DeliveryQueue::notify).
+    std::function<void()> wake;
+    /// True while timed work is urgent (a determinant gather in flight) and
+    /// the receiver thread should poll on a short tick.
+    std::function<bool()> urgent;
+    /// The endpoint inbox was poisoned without a local kill: job teardown.
+    std::function<void()> transport_closed;
+  };
+
+  SendPath(net::Fabric& fabric, const ProcessParams& params, LifeFlags& life,
+           ChannelState& channels, ProtocolHost& tracker, SenderLog& log,
+           SharedMetrics& metrics);
+  ~SendPath();
+
+  void set_callbacks(Callbacks cb) { cb_ = std::move(cb); }
+
+  /// Spawns the receiver (and optional sender) thread in non-blocking mode.
+  /// Called once the whole engine is wired; no-op for blocking mode.
+  void start();
+
+  /// Stops and joins the helper threads (destructor path).
+  void stop();
+
+  /// Fault injection: releases a sender thread blocked on queue A.
+  void poison();
+
+  /// The full application-facing send (application thread only).
+  void send_app(int dst, int tag, std::span<const std::uint8_t> payload);
+
+  /// Control-plane message: counted and sent straight to the fabric — it
+  /// must flow even while the sender thread is being torn down.
+  void send_control(int dst, Kind kind, std::uint64_t seq,
+                    util::Bytes payload);
+
+  /// Blocking-mode event pump: pops at most one packet (bounded by
+  /// `deadline`), dispatches it, runs periodic work.  Throws Killed /
+  /// JobAborted as appropriate.
+  void pump_once(Clock::time_point deadline);
+
+ private:
+  void transmit(net::Packet p);  // queue A (sender thread) or direct
+  void recv_loop();
+  void send_loop();
+
+  net::Fabric& fabric_;
+  const ProcessParams& params_;
+  LifeFlags& life_;
+  ChannelState& channels_;
+  ProtocolHost& tracker_;
+  SenderLog& log_;
+  SharedMetrics& metrics_;
+  Callbacks cb_;
+
+  std::atomic<bool> closing_{false};
+  util::BlockingQueue<net::Packet> queue_a_;  // outgoing (paper's queue A)
+  std::thread recv_thread_;
+  std::thread send_thread_;
+
+  static constexpr std::chrono::microseconds kTick{2000};
+};
+
+}  // namespace windar::ft

@@ -5,6 +5,7 @@
 namespace windar::ft {
 
 void SenderLog::append(int dst, LogEntry entry) {
+  std::scoped_lock lock(mu_);
   auto& q = per_dst_[static_cast<std::size_t>(dst)];
   WINDAR_CHECK(q.empty() || q.back().send_index < entry.send_index)
       << "sender log indices must increase (dst=" << dst << ")";
@@ -14,6 +15,7 @@ void SenderLog::append(int dst, LogEntry entry) {
 }
 
 std::size_t SenderLog::release_upto(int dst, SeqNo upto) {
+  std::scoped_lock lock(mu_);
   auto& q = per_dst_[static_cast<std::size_t>(dst)];
   std::size_t released = 0;
   while (!q.empty() && q.front().send_index <= upto) {
@@ -26,6 +28,7 @@ std::size_t SenderLog::release_upto(int dst, SeqNo upto) {
 }
 
 void SenderLog::save(util::ByteWriter& w) const {
+  std::scoped_lock lock(mu_);
   w.u32(static_cast<std::uint32_t>(per_dst_.size()));
   for (const auto& q : per_dst_) {
     w.u32(static_cast<std::uint32_t>(q.size()));
@@ -39,7 +42,8 @@ void SenderLog::save(util::ByteWriter& w) const {
 }
 
 void SenderLog::restore(util::ByteReader& r) {
-  clear();
+  std::scoped_lock lock(mu_);
+  clear_locked();
   const std::uint32_t n = r.u32();
   per_dst_.assign(n, {});
   for (std::uint32_t d = 0; d < n; ++d) {
@@ -58,6 +62,11 @@ void SenderLog::restore(util::ByteReader& r) {
 }
 
 void SenderLog::clear() {
+  std::scoped_lock lock(mu_);
+  clear_locked();
+}
+
+void SenderLog::clear_locked() {
   for (auto& q : per_dst_) q.clear();
   entries_ = 0;
   bytes_ = 0;

@@ -9,10 +9,14 @@
 // (CHECKPOINT_ADVANCE, Algorithm 1 line 39), and the whole log is saved as
 // part of the sender's own checkpoint (line 33) so an incarnation can still
 // serve peers' rollbacks.
+//
+// Internally synchronized: the application thread appends while the receiver
+// thread releases (CHECKPOINT_ADVANCE) or scans for resends (ROLLBACK).
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <vector>
 
 #include "util/bytes.h"
@@ -41,17 +45,27 @@ class SenderLog {
   /// many entries were dropped.
   std::size_t release_upto(int dst, SeqNo upto);
 
-  /// Visits entries for `dst` with send_index > from, ascending.
+  /// Visits entries for `dst` with send_index > from, ascending.  The log's
+  /// lock is held across the visit, so `f` must not call back into the log;
+  /// it may touch lock-order leaves (fabric, metrics).
   template <typename F>
   void for_each_from(int dst, SeqNo from, F&& f) const {
+    std::scoped_lock lock(mu_);
     for (const LogEntry& e : per_dst_[static_cast<std::size_t>(dst)]) {
       if (e.send_index > from) f(e);
     }
   }
 
-  std::size_t entries() const { return entries_; }
-  std::size_t bytes() const { return bytes_; }
+  std::size_t entries() const {
+    std::scoped_lock lock(mu_);
+    return entries_;
+  }
+  std::size_t bytes() const {
+    std::scoped_lock lock(mu_);
+    return bytes_;
+  }
   std::size_t entries_for(int dst) const {
+    std::scoped_lock lock(mu_);
     return per_dst_[static_cast<std::size_t>(dst)].size();
   }
 
@@ -60,6 +74,9 @@ class SenderLog {
   void clear();
 
  private:
+  void clear_locked();
+
+  mutable std::mutex mu_;
   std::vector<std::deque<LogEntry>> per_dst_;  // ascending send_index
   std::size_t entries_ = 0;
   std::size_t bytes_ = 0;

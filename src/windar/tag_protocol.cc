@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "windar/codec.h"
 
 namespace windar::ft {
 
@@ -37,31 +38,26 @@ Piggyback TagProtocol::on_send(int dst, SeqNo send_index) {
   // destination: everything discovered since the last send that the
   // destination is not already believed to hold.
   auto& pending = unsent_[static_cast<std::size_t>(dst)];
-  util::ByteWriter w;
-  std::uint32_t count = 0;
-  util::ByteWriter dets;
+  DeterminantBlockWriter block;
   for (std::uint32_t id : pending) {
     Entry& e = entries_[id];
     if (e.dead || (e.known_mask & bit(dst)) != 0) continue;
     e.known_mask |= bit(dst);  // optimistic: the message will carry it
-    e.det.write(dets);
-    ++count;
+    block.add(e.det);
   }
   pending.clear();
-  w.u32(count);
-  w.raw(dets.view());
-  return Piggyback{w.take(), count * kIdentsPerDeterminant};
+  util::ByteWriter w;
+  block.finish(w);
+  return Piggyback{w.take(), block.count() * kIdentsPerDeterminant};
 }
 
 void TagProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
                              std::span<const std::uint8_t> meta) {
   util::ByteReader r(meta);
-  const std::uint32_t count = r.u32();
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const Determinant d = Determinant::read(r);
+  read_determinant_block(r, [&](const Determinant& d) {
     // The sender held it, and now so do we.
     add_det(d, bit(src) | bit(rank_));
-  }
+  });
   // Our own delivery becomes a new non-deterministic event determinant.
   // The sender does not know our delivery order, so only we hold it.
   add_det(Determinant{static_cast<SeqNo>(src), static_cast<SeqNo>(rank_),

@@ -1,6 +1,7 @@
 #include "windar/tel_protocol.h"
 
 #include "util/check.h"
+#include "windar/codec.h"
 
 namespace windar::ft {
 
@@ -20,17 +21,14 @@ Piggyback TelProtocol::on_send(int dst, SeqNo send_index) {
   // received them earlier keep their copies until stability, and the event
   // logger holds the stable prefix, so recovery can always reassemble the
   // full history (single-failure coverage, as in [5]).
-  std::uint32_t count = 0;
-  util::ByteWriter dets;
+  DeterminantBlockWriter block;
   for (const auto& [seq, det] : by_owner_[static_cast<std::size_t>(rank_)]) {
     (void)seq;
-    det.write(dets);
-    ++count;
+    block.add(det);
   }
-  w.u32(count);
-  w.raw(dets.view());
+  block.finish(w);
   return Piggyback{w.take(), static_cast<std::uint32_t>(n_) +
-                                 count * kIdentsPerDeterminant};
+                                 block.count() * kIdentsPerDeterminant};
 }
 
 void TelProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
@@ -46,12 +44,10 @@ void TelProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
       advanced = true;
     }
   }
-  const std::uint32_t count = r.u32();
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const Determinant d = Determinant::read(r);
-    if (d.deliver_seq <= stable_wm_[d.receiver]) continue;  // already stable
+  read_determinant_block(r, [&](const Determinant& d) {
+    if (d.deliver_seq <= stable_wm_[d.receiver]) return;  // already stable
     by_owner_[d.receiver].emplace(d.deliver_seq, d);
-  }
+  });
   if (advanced) {
     for (int p = 0; p < n_; ++p) prune(p);
   }

@@ -1,8 +1,18 @@
-// Wire-level constants shared by the recovery layer.
+// Wire-level constants and packet builders shared by the recovery layer.
+//
+// Every packet the recovery engine puts on the fabric — application messages
+// (fresh sends and log-driven resends alike), acks, checkpoint advances, the
+// ROLLBACK/RESPONSE choreography, and the TEL stability plane — is assembled
+// here, so header layout lives in exactly one place.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/bytes.h"
 
 namespace windar::ft {
 
@@ -53,6 +63,44 @@ inline std::string to_string(ProtocolKind k) {
 
 inline std::string to_string(SendMode m) {
   return m == SendMode::kBlocking ? "blocking" : "nonblocking";
+}
+
+// ---- packet builders ----
+
+/// Application message: `seq` carries the per-pair send_index and `meta` the
+/// protocol piggyback.  Resends must use the same builder so a retransmitted
+/// message is byte-identical to the original.
+inline net::Packet app_packet(int src, int dst, std::int32_t tag,
+                              SeqNo send_index, const util::Bytes& meta,
+                              std::span<const std::uint8_t> payload) {
+  return net::make_packet(src, dst, wire(Kind::kApp), tag, send_index, meta,
+                          util::Bytes(payload.begin(), payload.end()));
+}
+
+/// Control message (everything that is not kApp): tag unused, `seq` and
+/// `payload` are interpreted per Kind.
+inline net::Packet control_packet(int src, int dst, Kind kind,
+                                  std::uint64_t seq,
+                                  util::Bytes payload = {}) {
+  return net::make_packet(src, dst, wire(kind), 0, seq, {},
+                          std::move(payload));
+}
+
+// ---- kRollback body ----
+// A ROLLBACK broadcast carries the incarnation's restored last_deliver
+// vector; survivor j reads element j to learn which of its messages must be
+// resent (Algorithm 1 line 46).
+
+inline util::Bytes encode_rollback_body(std::span<const SeqNo> last_deliver) {
+  util::ByteWriter w;
+  w.u32_vec(last_deliver);
+  return w.take();
+}
+
+inline std::vector<SeqNo> decode_rollback_body(
+    std::span<const std::uint8_t> payload) {
+  util::ByteReader r(payload);
+  return r.u32_vec();
 }
 
 }  // namespace windar::ft

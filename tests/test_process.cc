@@ -124,7 +124,15 @@ TEST(Process, ResendsCoverInFlightLoss) {
   cfg.faults = {{1, 4.0}};
   auto result = run_job(cfg, [](Ctx& ctx) {
     if (ctx.rank() == 0) {
-      for (int i = 0; i < 2000; ++i) send_value(ctx, 1, 0, i);
+      // Pace the burst so it spans the 4 ms fault: without pacing the whole
+      // stream can complete before the receiver dies (resent_msgs would be
+      // legitimately 0 and the assertion below flaky).
+      for (int i = 0; i < 2000; ++i) {
+        if (i % 50 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        send_value(ctx, 1, 0, i);
+      }
     } else {
       long long sum = 0;
       for (int i = 0; i < 2000; ++i) sum += recv_value<int>(ctx, 0, 0);
@@ -198,7 +206,11 @@ TEST(Process, CheckpointIncludesLogAndCounters) {
         start = r.i32();
       }
       for (int i = start; i < 20; ++i) {
-        if (i == 10) {
+        // Checkpoint once, on whichever execution first reaches i == 10: if
+        // the fault lands after the checkpoint the incarnation restarts at
+        // start == 10 and must not checkpoint again, and if it lands before,
+        // the restart-from-scratch run takes the one checkpoint itself.
+        if (i == 10 && !ctx.restored()) {
           util::ByteWriter w;
           w.i32(i);
           ctx.checkpoint(w.view());

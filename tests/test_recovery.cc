@@ -120,6 +120,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Recovery, RecoveryMetricsReported) {
   ExchangeApp app;
+  // Checkpoint every iteration so a checkpoint exists before the 8 ms fault
+  // even when instrumentation (e.g. TSan) slows iteration progress; the
+  // loads > 0 assertion below depends on it.
+  app.checkpoint_every = 1;
   JobConfig cfg = config(4, ProtocolKind::kTdi, SendMode::kNonBlocking);
   cfg.faults = {{1, 8.0}};
   auto outcome = std::make_shared<std::atomic<std::uint64_t>>(0);
@@ -180,7 +184,16 @@ TEST(Recovery, AnySourceNondeterminismStaysCorrectUnderTdi) {
     const int rounds = 12;
     if (ctx.rank() == 0) {
       long long sum = 0;
-      for (int round = 0; round < rounds; ++round) {
+      int start = 0;
+      // Resume from the checkpoint: channel state restores alongside the app
+      // blob, so restarting the loop at round 0 would wait forever for the
+      // rounds the restored watermarks already cover.
+      if (ctx.restored()) {
+        util::ByteReader r(*ctx.restored());
+        sum = r.i64();
+        start = r.i32();
+      }
+      for (int round = start; round < rounds; ++round) {
         if (round == rounds / 2) {
           util::ByteWriter w;
           w.i64(sum);

@@ -1,0 +1,208 @@
+// RecoveryManager unit tests: the rollback/checkpoint choreography driven
+// directly against a tiny fabric — image assembly and CHECKPOINT_ADVANCE
+// fan-out, restore round-trips, the survivor's resend-then-RESPOND duty, and
+// the PWD determinant-gather gate.  Rank 1 is played by the test itself.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "windar/codec.h"
+#include "windar/recovery_manager.h"
+
+namespace windar::ft {
+namespace {
+
+ProcessParams make_params(ProtocolKind proto, std::uint32_t incarnation) {
+  ProcessParams p;
+  p.rank = 0;
+  p.n = 2;
+  p.protocol = proto;
+  p.incarnation = incarnation;
+  return p;
+}
+
+// Zero jitter and zero per-byte cost: every packet has the same delay, so
+// arrival order equals send order and the resend/response sequence the
+// protocol mandates is observable.
+net::LatencyModel flat_latency() {
+  return net::LatencyModel{std::chrono::nanoseconds(1'000),
+                           std::chrono::nanoseconds(0),
+                           std::chrono::nanoseconds(0)};
+}
+
+// A rank-0 recovery engine without the delivery plane (not needed here).
+struct Engine {
+  Engine(net::Fabric& f, CheckpointStore& s, ProtocolKind proto,
+         std::uint32_t incarnation)
+      : params(make_params(proto, incarnation)),
+        channels(2, 0),
+        tracker(make_protocol(proto, 0, 2)),
+        log(2),
+        path(f, params, life, channels, tracker, log, metrics),
+        rec(f, s, params, channels, log, tracker, path, metrics) {}
+
+  void append_log(int dst, SeqNo idx) {
+    LogEntry e;
+    e.send_index = idx;
+    e.tag = 0;
+    e.payload = util::Bytes{static_cast<std::uint8_t>(idx)};
+    log.append(dst, std::move(e));
+  }
+
+  ProcessParams params;
+  LifeFlags life;
+  ChannelState channels;
+  ProtocolHost tracker;
+  SenderLog log;
+  SharedMetrics metrics;
+  SendPath path;
+  RecoveryManager rec;
+};
+
+TEST(RecoveryManager, CheckpointSavesImageAndAdvertisesLogRelease) {
+  net::Fabric fabric(2, flat_latency(), 11);
+  CheckpointStore store;
+  Engine eng(fabric, store, ProtocolKind::kTdi, 0);
+
+  eng.channels.next_send_index(1);
+  eng.channels.next_send_index(1);
+  eng.append_log(1, 1);
+  eng.append_log(1, 2);
+  eng.channels.advance_deliver(1);
+  eng.channels.advance_deliver(1);
+  eng.channels.advance_deliver(1);
+
+  const util::Bytes app{42, 43};
+  eng.rec.checkpoint(app);
+
+  ASSERT_TRUE(store.has(0));
+  const auto image = store.load(0);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(image->ckpt_seq, 1u);
+  EXPECT_EQ(image->app, app);
+  EXPECT_EQ(image->last_send, (std::vector<SeqNo>{0, 2}));
+  EXPECT_EQ(image->last_deliver, (std::vector<SeqNo>{0, 3}));
+  EXPECT_EQ(image->delivered_total, 3u);
+  EXPECT_EQ(eng.metrics.snapshot().checkpoints, 1u);
+
+  // We delivered past the previous (nonexistent) checkpoint: peer 1 must be
+  // told it can release its log of messages to us (Algorithm 1 lines 34-37).
+  auto p = fabric.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, wire(Kind::kCheckpointAdvance));
+  EXPECT_EQ(p->seq, 3u);  // release everything up to deliver index 3
+  util::ByteReader r(p->payload);
+  EXPECT_EQ(r.u32(), 3u);  // our delivered_total, for metadata GC
+}
+
+TEST(RecoveryManager, RestoreRoundTripAndRollbackAnnouncement) {
+  net::Fabric fabric(2, flat_latency(), 12);
+  CheckpointStore store;
+  {
+    Engine original(fabric, store, ProtocolKind::kTdi, 0);
+    original.channels.next_send_index(1);
+    original.channels.next_send_index(1);
+    original.channels.advance_deliver(1);
+    original.rec.checkpoint(util::Bytes{7});
+    (void)fabric.endpoint(1).inbox().pop();  // drain the advance
+  }
+
+  Engine inc(fabric, store, ProtocolKind::kTdi, 1);
+  fabric.revive(0);  // the old engine's teardown poisoned our endpoint
+  inc.rec.restore_from_checkpoint();
+  ASSERT_TRUE(inc.rec.restored_app().has_value());
+  EXPECT_EQ(*inc.rec.restored_app(), util::Bytes{7});
+  EXPECT_EQ(inc.channels.delivered_total(), 1u);
+  EXPECT_EQ(inc.channels.next_send_index(1), 3u);  // counters continue
+  EXPECT_EQ(inc.metrics.snapshot().recoveries, 1u);
+  EXPECT_TRUE(inc.rec.gate());  // TDI gathers nothing: deliveries may flow
+  EXPECT_TRUE(inc.rec.retry_pending());  // but peer 1 has not responded yet
+
+  inc.rec.announce_rollback();
+  auto p = fabric.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, wire(Kind::kRollback));
+  EXPECT_EQ(p->seq, 1u);  // stamped with the incarnation number
+  EXPECT_EQ(decode_rollback_body(p->payload), (std::vector<SeqNo>{0, 1}));
+
+  // Peer 1's RESPONSE certifies it delivered 2 of our messages: rolling
+  // forward must suppress re-sends 1 and 2, and the retry loop goes quiet.
+  ResponseBody body;
+  body.their_deliver_of_mine = 2;
+  inc.rec.handle_response(
+      1, control_packet(1, 0, Kind::kResponse, 0, body.encode()));
+  EXPECT_FALSE(inc.rec.retry_pending());
+  EXPECT_TRUE(inc.channels.should_suppress(1, 2));
+  EXPECT_FALSE(inc.channels.should_suppress(1, 3));
+}
+
+TEST(RecoveryManager, SurvivorResendsFromLogThenResponds) {
+  net::Fabric fabric(2, flat_latency(), 13);
+  CheckpointStore store;
+  Engine eng(fabric, store, ProtocolKind::kTdi, 0);
+  eng.append_log(1, 1);
+  eng.append_log(1, 2);
+  eng.append_log(1, 3);
+  eng.channels.advance_deliver(1);
+  eng.channels.advance_deliver(1);
+
+  // Peer 1's incarnation 1 restored having delivered only message 1 from us.
+  eng.rec.handle_rollback(1, /*peer_epoch=*/1, {1, 0});
+
+  // Resends for indices 2 and 3 must precede the RESPONSE: the response
+  // certifies every needed logged message is already in flight.
+  for (const SeqNo expect_idx : {SeqNo{2}, SeqNo{3}}) {
+    auto p = fabric.endpoint(1).inbox().pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->kind, wire(Kind::kApp));
+    EXPECT_EQ(p->seq, expect_idx);
+  }
+  auto p = fabric.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, wire(Kind::kResponse));
+  const ResponseBody body = ResponseBody::decode(p->payload);
+  EXPECT_EQ(body.their_deliver_of_mine, 2u);  // what we delivered from peer 1
+  EXPECT_EQ(eng.metrics.snapshot().resent_msgs, 2u);
+
+  // The rollback reset our suppression watermark to what the incarnation
+  // actually restored.
+  EXPECT_TRUE(eng.channels.should_suppress(1, 1));
+  EXPECT_FALSE(eng.channels.should_suppress(1, 2));
+}
+
+TEST(RecoveryManager, GatherGateStaysClosedUntilAllResponses) {
+  net::Fabric fabric(2, flat_latency(), 14);
+  CheckpointStore store;  // empty: restart from scratch
+  Engine eng(fabric, store, ProtocolKind::kTag, 1);
+
+  eng.rec.restore_from_checkpoint();
+  EXPECT_FALSE(eng.rec.restored_app().has_value());
+  // TAG must reassemble replay knowledge before delivering anything.
+  EXPECT_FALSE(eng.rec.gate());
+  EXPECT_TRUE(eng.rec.retry_pending());
+
+  ResponseBody body;  // peer never delivered from us; no determinants held
+  eng.rec.handle_response(
+      1, control_packet(1, 0, Kind::kResponse, 0, body.encode()));
+  EXPECT_TRUE(eng.rec.gate());  // last outstanding survivor answered
+  EXPECT_FALSE(eng.rec.retry_pending());
+}
+
+TEST(RecoveryManager, CheckpointAdvanceReleasesSenderLog) {
+  net::Fabric fabric(2, flat_latency(), 15);
+  CheckpointStore store;
+  Engine eng(fabric, store, ProtocolKind::kTdi, 0);
+  eng.append_log(1, 1);
+  eng.append_log(1, 2);
+  eng.append_log(1, 3);
+
+  util::ByteWriter w;
+  w.u32(5);  // the peer's delivered_total, for protocol metadata GC
+  eng.rec.handle_checkpoint_advance(
+      control_packet(1, 0, Kind::kCheckpointAdvance, /*upto=*/2, w.take()));
+  EXPECT_EQ(eng.log.entries_for(1), 1u);  // only index 3 survives
+  EXPECT_EQ(eng.metrics.snapshot().log_released_entries, 2u);
+}
+
+}  // namespace
+}  // namespace windar::ft

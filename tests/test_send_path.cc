@@ -1,0 +1,154 @@
+// SendPath unit tests: the transmission plane against a real (tiny) fabric —
+// send-side logging and metrics, rolling-forward suppression, the blocking
+// ack wait with self-pumping, and the receiver-thread dispatch/wake loop.
+// The engine layers above are replaced by test callbacks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "windar/send_path.h"
+
+namespace windar::ft {
+namespace {
+
+ProcessParams make_params(SendMode mode) {
+  ProcessParams p;
+  p.rank = 0;
+  p.n = 2;
+  p.protocol = ProtocolKind::kTdi;
+  p.mode = mode;
+  return p;
+}
+
+// A rank-0 transmission plane wired to a two-endpoint fabric; rank 1 is
+// driven by the test itself (popping its inbox directly).
+struct Harness {
+  explicit Harness(SendMode mode = SendMode::kNonBlocking)
+      : fabric(2, net::LatencyModel::deterministic(
+                       std::chrono::nanoseconds(1'000),
+                       std::chrono::nanoseconds(0)),
+               /*seed=*/7),
+        params(make_params(mode)),
+        channels(2, 0),
+        tracker(make_protocol(ProtocolKind::kTdi, 0, 2)),
+        log(2),
+        path(fabric, params, life, channels, tracker, log, metrics) {
+    SendPath::Callbacks cb;
+    cb.dispatch = [this](net::Packet&& p) {
+      if (p.kind == wire(Kind::kDeliverAck)) {
+        channels.record_ack(p.src, static_cast<SeqNo>(p.seq));
+      }
+      ++dispatched;
+      return true;
+    };
+    cb.periodic = [] {};
+    cb.wake = [this] { ++woken; };
+    cb.urgent = [] { return false; };
+    cb.transport_closed = [] {};
+    path.set_callbacks(std::move(cb));
+  }
+
+  net::Fabric fabric;
+  ProcessParams params;
+  LifeFlags life;
+  ChannelState channels;
+  ProtocolHost tracker;
+  SenderLog log;
+  SharedMetrics metrics;
+  SendPath path;
+  std::atomic<int> dispatched{0};
+  std::atomic<int> woken{0};
+};
+
+TEST(SendPath, SendAppTransmitsLogsAndCounts) {
+  Harness h;
+  const util::Bytes payload{1, 2, 3, 4};
+  h.path.send_app(1, 5, payload);
+
+  auto p = h.fabric.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, wire(Kind::kApp));
+  EXPECT_EQ(p->src, 0);
+  EXPECT_EQ(p->dst, 1);
+  EXPECT_EQ(p->tag, 5);
+  EXPECT_EQ(p->seq, 1u);  // first send on the (0 -> 1) pair
+  EXPECT_EQ(p->payload, payload);
+
+  // The message is retained for log-driven resends, with its piggyback.
+  EXPECT_EQ(h.log.entries_for(1), 1u);
+  const Metrics m = h.metrics.snapshot();
+  EXPECT_EQ(m.app_sent, 1u);
+  EXPECT_EQ(m.app_transmitted, 1u);
+  EXPECT_EQ(m.payload_bytes, payload.size());
+}
+
+TEST(SendPath, SuppressedResendSkipsTheWireButIsLogged) {
+  Harness h;
+  // The peer's RESPONSE confirmed it delivered 5 of our messages; rolling
+  // forward re-executes those sends and they must be suppressed.
+  h.channels.observe_response(1, 0, 5);
+  h.path.send_app(1, 0, util::Bytes{9});
+
+  const Metrics m = h.metrics.snapshot();
+  EXPECT_EQ(m.app_sent, 1u);
+  EXPECT_EQ(m.suppressed_sends, 1u);
+  EXPECT_EQ(m.app_transmitted, 0u);
+  EXPECT_EQ(h.fabric.stats().packets_sent, 0u);  // nothing hit the fabric
+  // Still logged: a later rollback of the peer may need it.
+  EXPECT_EQ(h.log.entries_for(1), 1u);
+}
+
+TEST(SendPath, BlockingSendPumpsOwnInboxUntilAcked) {
+  Harness h(SendMode::kBlocking);
+  // Rank 1: accept the message after a delay, then ack it.
+  std::thread receiver([&h] {
+    auto p = h.fabric.endpoint(1).inbox().pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->kind, wire(Kind::kApp));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    h.fabric.send(control_packet(1, 0, Kind::kDeliverAck, p->seq));
+  });
+  // Returns only once the ack arrived — via pump_once on this same thread,
+  // through the dispatch callback above.
+  h.path.send_app(1, 0, util::Bytes{1, 2, 3});
+  receiver.join();
+  EXPECT_TRUE(h.channels.is_acked(1, 1));
+  EXPECT_GE(h.metrics.snapshot().send_block_ns, 1'000'000);  // >= 1 ms stall
+}
+
+TEST(SendPath, PumpOnceThrowsKilledAfterFaultInjection) {
+  Harness h(SendMode::kBlocking);
+  h.life.killed.store(true);
+  EXPECT_THROW(h.path.pump_once(SendPath::Clock::now()), Killed);
+}
+
+TEST(SendPath, RecvLoopDispatchesAndWakesApplication) {
+  Harness h;
+  h.path.start();
+  h.fabric.send(control_packet(1, 0, Kind::kDeliverAck, 3));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (h.dispatched.load() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(h.dispatched.load(), 1);
+  EXPECT_GE(h.woken.load(), 1);  // dispatch returned true -> wake followed
+  EXPECT_TRUE(h.channels.is_acked(1, 3));
+  h.path.stop();  // joins cleanly; idempotent with the destructor's stop
+}
+
+TEST(SendPath, ControlMessagesCountAndBypassQueueA) {
+  Harness h;
+  h.path.send_control(1, Kind::kCheckpointAdvance, 4, util::Bytes{});
+  auto p = h.fabric.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, wire(Kind::kCheckpointAdvance));
+  EXPECT_EQ(p->seq, 4u);
+  EXPECT_EQ(h.metrics.snapshot().control_msgs, 1u);
+}
+
+}  // namespace
+}  // namespace windar::ft
