@@ -1,0 +1,184 @@
+// Chaos soak driver: seeded randomized event-keyed fault schedules swept
+// across the causal-logging protocols, each run checked for convergence to
+// the failure-free digest.
+//
+//   chaos_soak [--schedules=50] [--seed0=1000] [--protocols=tdi,tag,tel]
+//              [--replay=SEED] [--timeout-ms=30000]
+//
+// Every schedule is a pure function of its seed (windar::ft::make_chaos_plan),
+// so a failure is replayed from the printed seed alone:
+//
+//   chaos_soak --replay=1017
+//
+// A per-run watchdog flags hangs: if one (plan, protocol) run exceeds
+// --timeout-ms the driver prints "FAIL seed=... (hang)" and exits nonzero,
+// leaving the seed on stdout for replay.  Exit status: 0 iff every run
+// converged.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tests/chaos_app.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace windar;
+using namespace windar::ft;
+
+struct Options {
+  int schedules = 50;
+  std::uint64_t seed0 = 1000;
+  std::vector<ProtocolKind> protocols = {ProtocolKind::kTdi,
+                                         ProtocolKind::kTag,
+                                         ProtocolKind::kTel};
+  std::uint64_t replay = 0;  // 0: sweep mode
+  double timeout_ms = 30000;
+};
+
+ProtocolKind parse_protocol(const std::string& s) {
+  if (s == "tdi") return ProtocolKind::kTdi;
+  if (s == "tdi-sparse") return ProtocolKind::kTdiSparse;
+  if (s == "tag") return ProtocolKind::kTag;
+  if (s == "tel") return ProtocolKind::kTel;
+  if (s == "pes") return ProtocolKind::kPes;
+  std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--schedules=", 0) == 0) {
+      opt.schedules = std::atoi(value("--schedules="));
+    } else if (arg.rfind("--seed0=", 0) == 0) {
+      opt.seed0 = std::strtoull(value("--seed0="), nullptr, 10);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      opt.replay = std::strtoull(value("--replay="), nullptr, 10);
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      opt.timeout_ms = std::atof(value("--timeout-ms="));
+    } else if (arg.rfind("--protocols=", 0) == 0) {
+      opt.protocols.clear();
+      std::string list = value("--protocols=");
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) opt.protocols.push_back(parse_protocol(list.substr(pos, end - pos)));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+// Hang watchdog: the main thread arms a deadline before each run; if the run
+// outlives it, the process prints the offending seed and exits.  run_job
+// cannot be cancelled from outside, so a hard exit is the only honest
+// outcome for a hung schedule — the seed on stdout is the repro.
+struct Watchdog {
+  explicit Watchdog(double timeout_ms) : timeout_ms_(timeout_ms) {
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        const double armed = armed_at_ms_.load(std::memory_order_acquire);
+        if (armed > 0 && util::now_ms() - armed > timeout_ms_) {
+          std::printf("FAIL seed=%llu proto=%s (hang after %.0f ms)\n",
+                      static_cast<unsigned long long>(
+                          seed_.load(std::memory_order_acquire)),
+                      proto_.load(std::memory_order_acquire), timeout_ms_);
+          std::fflush(stdout);
+          std::_Exit(3);
+        }
+      }
+    });
+  }
+  ~Watchdog() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+  void arm(std::uint64_t seed, const char* proto) {
+    seed_.store(seed, std::memory_order_release);
+    proto_.store(proto, std::memory_order_release);
+    armed_at_ms_.store(util::now_ms(), std::memory_order_release);
+  }
+  void disarm() { armed_at_ms_.store(0, std::memory_order_release); }
+
+  const double timeout_ms_;
+  std::atomic<double> armed_at_ms_{0};
+  std::atomic<std::uint64_t> seed_{0};
+  std::atomic<const char*> proto_{""};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+struct Tally {
+  int runs = 0;
+  int divergences = 0;
+  std::uint64_t triggers = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t rollback_broadcasts = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  const bool replay = opt.replay != 0;
+  Watchdog watchdog(opt.timeout_ms);
+
+  int failures = 0;
+  std::printf("%-10s %-6s %-9s %-9s %-9s %-8s %s\n", "protocol", "runs",
+              "diverged", "triggers", "recov", "rb_bcast", "status");
+  for (const ProtocolKind proto : opt.protocols) {
+    const std::string pname = to_string(proto);
+    Tally tally;
+    for (int s = 0; s < (replay ? 1 : opt.schedules); ++s) {
+      const std::uint64_t seed = replay ? opt.replay : opt.seed0 + s;
+      const ChaosPlan plan = make_chaos_plan(seed);
+      if (replay) std::printf("replaying %s\n", plan.describe().c_str());
+      watchdog.arm(seed, pname.c_str());
+      const auto clean = ft::chaos::run_plan(plan, proto, false);
+      const auto faulty = ft::chaos::run_plan(plan, proto, true);
+      watchdog.disarm();
+      ++tally.runs;
+      tally.triggers += faulty.result.chaos_triggers_fired;
+      tally.recoveries += faulty.result.total.recoveries;
+      tally.rollback_broadcasts += faulty.result.total.rollback_broadcasts;
+      if (clean.digest != faulty.digest) {
+        ++tally.divergences;
+        ++failures;
+        std::printf("FAIL seed=%llu proto=%s (digest %llu != clean %llu)\n",
+                    static_cast<unsigned long long>(seed), pname.c_str(),
+                    static_cast<unsigned long long>(faulty.digest),
+                    static_cast<unsigned long long>(clean.digest));
+        std::printf("  plan: %s\n", plan.describe().c_str());
+      } else if (replay) {
+        std::printf("OK seed=%llu proto=%s triggers=%llu recov=%llu\n",
+                    static_cast<unsigned long long>(seed), pname.c_str(),
+                    static_cast<unsigned long long>(
+                        faulty.result.chaos_triggers_fired),
+                    static_cast<unsigned long long>(
+                        faulty.result.total.recoveries));
+      }
+    }
+    std::printf("%-10s %-6d %-9d %-9llu %-9llu %-8llu %s\n", pname.c_str(),
+                tally.runs, tally.divergences,
+                static_cast<unsigned long long>(tally.triggers),
+                static_cast<unsigned long long>(tally.recoveries),
+                static_cast<unsigned long long>(tally.rollback_broadcasts),
+                tally.divergences == 0 ? "ok" : "DIVERGED");
+    std::fflush(stdout);
+  }
+  return failures == 0 ? 0 : 1;
+}

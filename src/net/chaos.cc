@@ -1,0 +1,93 @@
+#include "net/chaos.h"
+
+#include "util/check.h"
+
+namespace windar::net {
+
+void FaultSchedule::add(ChaosEvent ev) {
+  WINDAR_CHECK_GE(ev.nth, 1u) << "chaos events count 1-based packets";
+  std::scoped_lock lock(mu_);
+  events_.push_back(Armed{std::move(ev), 0, false});
+}
+
+void FaultSchedule::set_kill_handler(KillHandler handler) {
+  std::scoped_lock lock(mu_);
+  on_kill_ = std::move(handler);
+}
+
+template <typename Match>
+void FaultSchedule::scan(ChaosEvent::When when, const Match& matches,
+                         SendEffects* effects,
+                         std::vector<ChaosEvent>& kills) {
+  std::scoped_lock lock(mu_);
+  for (Armed& a : events_) {
+    if (a.ev.when != when || a.done || !matches(a.ev)) continue;
+    ++a.seen;
+    if (a.seen < a.ev.nth) continue;
+    if (!a.ev.repeat) a.done = true;
+    ++fired_;
+    switch (a.ev.action) {
+      case ChaosEvent::Action::kKill:
+        kills.push_back(a.ev);
+        break;
+      case ChaosEvent::Action::kDuplicate:
+        if (effects) effects->duplicate = true;
+        break;
+      case ChaosEvent::Action::kDelay:
+        if (effects) effects->extra_delay += a.ev.delay;
+        break;
+    }
+  }
+}
+
+FaultSchedule::SendEffects FaultSchedule::on_send(const Packet& p) {
+  SendEffects effects;
+  std::vector<ChaosEvent> kills;
+  scan(
+      ChaosEvent::When::kSend,
+      [&](const ChaosEvent& ev) {
+        return (ev.endpoint < 0 || ev.endpoint == p.src) &&
+               (ev.kind == 0 || ev.kind == p.kind);
+      },
+      &effects, kills);
+  KillHandler handler;
+  if (!kills.empty()) {
+    std::scoped_lock lock(mu_);
+    handler = on_kill_;
+  }
+  for (ChaosEvent& ev : kills) {
+    if (ev.target < 0) ev.target = p.src;
+    // The sender died in the act of sending: this packet never left.
+    if (ev.target == p.src) effects.drop = true;
+    if (handler) handler(ev);
+  }
+  return effects;
+}
+
+void FaultSchedule::on_deliver(int src, int dst, std::uint16_t kind) {
+  (void)src;
+  std::vector<ChaosEvent> kills;
+  scan(
+      ChaosEvent::When::kDeliver,
+      [&](const ChaosEvent& ev) {
+        return (ev.endpoint < 0 || ev.endpoint == dst) &&
+               (ev.kind == 0 || ev.kind == kind);
+      },
+      nullptr, kills);
+  KillHandler handler;
+  if (!kills.empty()) {
+    std::scoped_lock lock(mu_);
+    handler = on_kill_;
+  }
+  for (ChaosEvent& ev : kills) {
+    if (ev.target < 0) ev.target = dst;
+    if (handler) handler(ev);
+  }
+}
+
+std::size_t FaultSchedule::fired() const {
+  std::scoped_lock lock(mu_);
+  return fired_;
+}
+
+}  // namespace windar::net

@@ -24,15 +24,36 @@ Endpoint& Fabric::endpoint(EndpointId id) {
 void Fabric::send(Packet p) {
   WINDAR_CHECK(p.dst >= 0 && p.dst < endpoint_count())
       << "send to bad endpoint " << p.dst;
+  // Chaos triggers run before enqueue and outside mu_: a kill fired here may
+  // re-enter the fabric (kill()).  A kill targeting the sender itself drops
+  // the triggering packet (the crash interrupted the send); kills of other
+  // endpoints leave it in flight (packets survive their sender's death).
+  FaultSchedule::SendEffects fx;
+  if (FaultSchedule* chaos = chaos_.load(std::memory_order_acquire)) {
+    fx = chaos->on_send(p);
+    if (fx.drop) {
+      std::scoped_lock lock(mu_);
+      ++stats_.packets_dropped_dead;
+      return;
+    }
+  }
   const std::size_t bytes = p.wire_size();
   {
     std::scoped_lock lock(mu_);
     if (shutdown_) return;
-    const auto delay = model_.delay(bytes, rng_);
+    const auto now = std::chrono::steady_clock::now();
+    if (fx.duplicate) {
+      // Independent latency draw: the duplicate frequently overtakes the
+      // original, exercising the receiver's duplicate filter both ways.
+      const auto dup_delay = model_.delay(bytes, rng_) + fx.extra_delay;
+      ++stats_.packets_sent;
+      stats_.bytes_sent += bytes;
+      in_flight_.push(InFlight{now + dup_delay, next_order_++, p});
+    }
+    const auto delay = model_.delay(bytes, rng_) + fx.extra_delay;
     ++stats_.packets_sent;
     stats_.bytes_sent += bytes;
-    in_flight_.push(InFlight{std::chrono::steady_clock::now() + delay,
-                             next_order_++, std::move(p)});
+    in_flight_.push(InFlight{now + delay, next_order_++, std::move(p)});
   }
   cv_.notify_one();
 }
@@ -86,11 +107,20 @@ void Fabric::scheduler_loop() {
     // full inbox never stalls the whole fabric.
     Packet p = std::move(const_cast<InFlight&>(in_flight_.top()).packet);
     in_flight_.pop();
-    Endpoint& dst = *eps_[static_cast<std::size_t>(p.dst)];
+    const int src = p.src;
+    const int dst_id = p.dst;
+    const std::uint16_t kind = p.kind;
+    Endpoint& dst = *eps_[static_cast<std::size_t>(dst_id)];
     if (dst.alive()) {
       ++stats_.packets_delivered;
       lock.unlock();
       dst.inbox_.push(std::move(p));
+      // Delivery-keyed chaos triggers fire after the packet reached the
+      // inbox: "kill on the Kth delivery" means the Kth packet arrived and
+      // then the endpoint died (losing whatever was still queued).
+      if (FaultSchedule* chaos = chaos_.load(std::memory_order_acquire)) {
+        chaos->on_deliver(src, dst_id, kind);
+      }
       lock.lock();
     } else {
       ++stats_.packets_dropped_dead;

@@ -15,6 +15,11 @@
 // for the rank's incarnation.  Recovery-time retransmission is the job of the
 // layers above — the fabric itself is a lossy-when-dead, reordering,
 // otherwise reliable network.
+//
+// An optional FaultSchedule (chaos.h) extends the fault plane with scripted,
+// event-keyed triggers: every send and every completed delivery is matched
+// against the schedule, which may duplicate or delay packets and fires kill
+// triggers through its handler (the runtime turns those into rank kills).
 #pragma once
 
 #include <atomic>
@@ -27,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/chaos.h"
 #include "net/latency.h"
 #include "net/packet.h"
 #include "util/queue.h"
@@ -76,6 +82,13 @@ class Fabric {
   /// Re-arms a killed endpoint for an incarnation.
   void revive(EndpointId id);
 
+  /// Attaches an event-keyed fault schedule (non-owning; must outlive the
+  /// fabric's traffic).  Every send and completed delivery is matched
+  /// against it.  Call before traffic starts.
+  void set_chaos(FaultSchedule* chaos) {
+    chaos_.store(chaos, std::memory_order_release);
+  }
+
   /// Stops the scheduler; undelivered packets are discarded.  Idempotent.
   void shutdown();
 
@@ -98,6 +111,7 @@ class Fabric {
 
   LatencyModel model_;
   std::vector<std::unique_ptr<Endpoint>> eps_;
+  std::atomic<FaultSchedule*> chaos_{nullptr};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -24,6 +24,7 @@ void Metrics::merge(const Metrics& o) {
   log_released_entries += o.log_released_entries;
   checkpoints += o.checkpoints;
   recoveries += o.recoveries;
+  rollback_broadcasts += o.rollback_broadcasts;
 }
 
 std::string Metrics::summary() const {

@@ -40,6 +40,10 @@ struct Metrics {
   std::uint64_t log_released_entries = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t recoveries = 0;
+  // ROLLBACK broadcast rounds (first announce + backoff retries).  A
+  // recovery that converges first try contributes 1; a retry storm shows up
+  // as this growing linearly with outage length instead of logarithmically.
+  std::uint64_t rollback_broadcasts = 0;
 
   void merge(const Metrics& o);
 

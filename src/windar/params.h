@@ -16,7 +16,12 @@ struct ProcessParams {
   ProtocolKind protocol = ProtocolKind::kTdi;
   SendMode mode = SendMode::kNonBlocking;
   std::size_t eager_threshold = 8 * 1024;
+  // ROLLBACK re-broadcast: first retry after `rollback_retry`, then doubled
+  // per retry up to `rollback_retry_cap` (capped exponential backoff; a
+  // peer that stays down for long must not turn the gather window into a
+  // fixed-interval broadcast storm).
   std::chrono::milliseconds rollback_retry{25};
+  std::chrono::milliseconds rollback_retry_cap{200};
   int logger_endpoint = -1;  // >= 0 when the protocol uses the event logger
   std::size_t tel_batch = 32;
   std::chrono::microseconds tel_flush_interval{50};

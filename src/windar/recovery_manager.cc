@@ -1,5 +1,7 @@
 #include "windar/recovery_manager.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "windar/codec.h"
 
@@ -20,7 +22,8 @@ RecoveryManager::RecoveryManager(net::Fabric& fabric, CheckpointStore& store,
       metrics_(metrics),
       needs_gather_(tracker.needs_determinant_gather()),
       uses_event_logger_(tracker.uses_event_logger()),
-      response_seen_(static_cast<std::size_t>(params.n), 0) {}
+      response_seen_(static_cast<std::size_t>(params.n), 0),
+      retry_interval_(params.rollback_retry) {}
 
 // ---------------------------------------------------------------------------
 // recovering side
@@ -29,7 +32,7 @@ RecoveryManager::RecoveryManager(net::Fabric& fabric, CheckpointStore& store,
 void RecoveryManager::restore_from_checkpoint() {
   std::scoped_lock lock(mu_);
   recovering_ = true;
-  metrics_.update([](Metrics& m) { m.recoveries = 1; });
+  metrics_.update([](Metrics& m) { ++m.recoveries; });
   auto image = store_.load(params_.rank);
   if (image) {
     restored_app_ = std::move(image->app);
@@ -90,6 +93,7 @@ void RecoveryManager::broadcast_rollback_locked() {
   if (logger_reply_pending_) {
     send_path_.send_control(params_.logger_endpoint, Kind::kTelQuery, 0, {});
   }
+  metrics_.update([](Metrics& m) { ++m.rollback_broadcasts; });
   last_rollback_bcast_ = Clock::now();
 }
 
@@ -134,6 +138,18 @@ void RecoveryManager::handle_rollback(int from, std::uint32_t peer_epoch,
       [&](const LoggingProtocol& proto) { return proto.determinants_for(from); });
   send_path_.send_control(from, Kind::kResponse, params_.incarnation,
                           body.encode());
+
+  // A ROLLBACK proves the peer's (new) incarnation is up and listening.  If
+  // our own gather is still waiting on that peer — overlapping failures —
+  // our earlier broadcast likely died with its old incarnation; answer with
+  // our pending ROLLBACK now instead of waiting out the backoff interval.
+  std::scoped_lock lock(mu_);
+  if (recovering_ && !response_seen_[static_cast<std::size_t>(from)]) {
+    const auto [our_ldi, delivered_total] = channels_.deliver_snapshot();
+    (void)delivered_total;
+    send_path_.send_control(from, Kind::kRollback, params_.incarnation,
+                            encode_rollback_body(our_ldi));
+  }
 }
 
 void RecoveryManager::handle_response(int from, net::Packet&& p) {
@@ -178,10 +194,17 @@ void RecoveryManager::handle_checkpoint_advance(net::Packet&& p) {
 void RecoveryManager::periodic() {
   std::scoped_lock lock(mu_);
   if (recovering_ && (responses_pending_ > 0 || logger_reply_pending_) &&
-      Clock::now() - last_rollback_bcast_ >= params_.rollback_retry) {
+      Clock::now() - last_rollback_bcast_ >= retry_interval_) {
     // Peers that were down when we broadcast (simultaneous failures) never
-    // saw the ROLLBACK; retry until everyone answered.
+    // saw the ROLLBACK; retry until everyone answered, backing off so a
+    // long outage does not turn the gather window into a broadcast storm.
+    // No reset on progress: a peer that comes back announces its own
+    // ROLLBACK, which handle_rollback answers immediately, so the growing
+    // interval does not delay convergence.
     broadcast_rollback_locked();
+    retry_interval_ =
+        std::min<Clock::duration>(retry_interval_ * 2,
+                                  params_.rollback_retry_cap);
   }
 }
 

@@ -108,6 +108,9 @@ class RecoveryManager {
   int responses_pending_ = 0;
   bool logger_reply_pending_ = false;
   Clock::time_point last_rollback_bcast_{};
+  // Current re-broadcast wait: starts at params.rollback_retry, doubles per
+  // retry round up to params.rollback_retry_cap (capped exponential backoff).
+  Clock::duration retry_interval_;
 
   std::optional<util::Bytes> restored_app_;  // set pre-threads, then const
   std::uint64_t ckpt_seq_ = 0;               // application thread only

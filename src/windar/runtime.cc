@@ -20,6 +20,14 @@ struct Slot {
   std::mutex mu;                      // guards proc + fn_done transitions
   std::shared_ptr<Process> proc;
   bool fn_done = false;
+  // A kill that fired while this rank's Process was mid-construction (the
+  // injector sees no proc to poison): recorded here and applied by the
+  // supervisor the moment construction finishes, so event-keyed kills can
+  // land inside a recovery window without being silently dropped.
+  bool pending_kill = false;          // guarded by mu
+  // Non-zero: hold the next restart until the fabric delivered this many
+  // packets in total (ChaosEvent::revive_after_packets).
+  std::atomic<std::uint64_t> revive_at_packets{0};
   Metrics acc;                        // merged across incarnations
   std::mutex acc_mu;
   std::atomic<const char*> phase{"init"};  // stall-watchdog breadcrumb
@@ -58,11 +66,54 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
     p.protocol = config.protocol;
     p.mode = config.mode;
     p.eager_threshold = config.eager_threshold;
+    p.rollback_retry = config.rollback_retry;
+    p.rollback_retry_cap = config.rollback_retry_cap;
     p.logger_endpoint = uses_logger ? config.n : -1;
     p.trace = config.trace;
     p.incarnation = incarnation;
     return p;
   };
+
+  // One kill path shared by the wall-clock injector and the event-keyed
+  // chaos schedule.  Poison-before-endpoint-kill ordering is load-bearing
+  // (see the injector comment below); a kill landing in the construction
+  // window is deferred to the supervisor rather than dropped.
+  auto kill_rank = [&](int rank, std::uint64_t revive_after_packets) {
+    Slot& slot = slots[static_cast<std::size_t>(rank)];
+    std::scoped_lock lock(slot.mu);
+    if (slot.fn_done) return;  // finished ranks are never killed
+    if (revive_after_packets > 0) {
+      slot.revive_at_packets.store(
+          fabric.stats().packets_delivered + revive_after_packets,
+          std::memory_order_release);
+    }
+    if (!slot.proc) {
+      slot.pending_kill = true;
+      return;
+    }
+    // Mark the process dead BEFORE poisoning its endpoint: a thread that
+    // wakes on the poisoned inbox must see killed_ == true, or it will
+    // misread the fault as job teardown (JobAborted) and skip recovery.
+    slot.proc->poison();
+    fabric.kill(rank);
+  };
+
+  net::FaultSchedule chaos(config.chaos);
+  if (!config.chaos.empty()) {
+    for (const auto& ev : config.chaos) {
+      if (ev.action == net::ChaosEvent::Action::kKill) {
+        const int target = ev.target >= 0 ? ev.target : ev.endpoint;
+        WINDAR_CHECK(target >= 0 && target < config.n)
+            << "chaos kill target must be a rank, got " << target;
+      }
+    }
+    chaos.set_kill_handler([&](const net::ChaosEvent& ev) {
+      WINDAR_CHECK(ev.target >= 0 && ev.target < config.n)
+          << "chaos kill fired for non-rank endpoint " << ev.target;
+      kill_rank(ev.target, ev.revive_after_packets);
+    });
+    fabric.set_chaos(&chaos);
+  }
 
   auto record_error = [&](std::exception_ptr e) {
     {
@@ -91,6 +142,14 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
       {
         std::scoped_lock lock(slot.mu);
         slot.proc = proc;
+        if (slot.pending_kill) {
+          // A chaos kill fired while we were constructing: apply it now.
+          // The application function below will unwind with Killed on its
+          // first engine call.
+          slot.pending_kill = false;
+          proc->poison();
+          fabric.kill(rank);
+        }
       }
       try {
         slot.phase = "fn";
@@ -130,9 +189,30 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
         proc.reset();  // joins this incarnation's helper threads
         slot.phase = "killed-sleep";
         if (job_failed.load(std::memory_order_acquire)) return;
-        // Failure detection + spare-node takeover latency.
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-            config.restart_delay_ms));
+        const std::uint64_t revive_target =
+            slot.revive_at_packets.exchange(0, std::memory_order_acq_rel);
+        if (revive_target > 0) {
+          // Event-keyed restart: stay down until the fabric delivered the
+          // scheduled amount of further traffic.  If traffic quiesces (every
+          // survivor is blocked on us) waiting longer is pointless — resume
+          // once the delivered count stalls.
+          std::uint64_t last = fabric.stats().packets_delivered;
+          int stalled_polls = 0;
+          while (last < revive_target && stalled_polls < 100 &&
+                 !all_done.load(std::memory_order_acquire) &&
+                 !job_failed.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            const std::uint64_t now = fabric.stats().packets_delivered;
+            stalled_polls = now == last ? stalled_polls + 1 : 0;
+            last = now;
+          }
+        } else {
+          // Failure detection + spare-node takeover latency.
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  config.restart_delay_ms));
+        }
+        if (job_failed.load(std::memory_order_acquire)) return;
         recovering = true;
         ++incarnation;
         continue;
@@ -205,14 +285,7 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
         if (all_done.load(std::memory_order_acquire)) return;
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
-      Slot& slot = slots[static_cast<std::size_t>(ev.rank)];
-      std::scoped_lock lock(slot.mu);
-      if (slot.fn_done || !slot.proc) continue;  // too late; nothing to kill
-      // Mark the process dead BEFORE poisoning its endpoint: a thread that
-      // wakes on the poisoned inbox must see killed_ == true, or it will
-      // misread the fault as job teardown (JobAborted) and skip recovery.
-      slot.proc->poison();
-      fabric.kill(ev.rank);
+      kill_rank(ev.rank, 0);
     }
   });
 
@@ -242,6 +315,7 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
   }
   result.fabric = fabric.stats();
   result.checkpoints = store.stats();
+  result.chaos_triggers_fired = chaos.fired();
   return result;
 }
 

@@ -28,6 +28,10 @@ namespace windar::ft {
 /// Kill `rank` this many milliseconds after job start.  Events on the same
 /// rank repeat (the incarnation is killed again); events at the same time on
 /// different ranks model simultaneous failures (paper §III.D, Fig. 2).
+///
+/// Wall-clock events drift with host speed (a TSan run hits a different
+/// protocol point than a release run); prefer the event-keyed `chaos`
+/// schedule below for tests that must land at a protocol-relative point.
 struct FaultEvent {
   int rank = 0;
   double at_ms = 0;
@@ -40,7 +44,18 @@ struct JobConfig {
   net::LatencyModel latency{};
   std::uint64_t seed = 1;
   std::vector<FaultEvent> faults;
+  // Event-keyed fault schedule (see fault.h helpers: kill_on_delivery,
+  // kill_on_send, duplicate_on_send, delay_on_send).  Kill events whose
+  // endpoint is a rank go through the same poison-then-kill path as
+  // `faults`; a kill landing while the rank's incarnation is still being
+  // constructed is deferred and applied the moment construction finishes.
+  std::vector<net::ChaosEvent> chaos;
   double restart_delay_ms = 10;  // failure detection + spare-node takeover
+  // ROLLBACK re-broadcast pacing: first retry after `rollback_retry`, then
+  // capped exponential backoff up to `rollback_retry_cap` (keeps a long
+  // outage from turning the gather window into a broadcast storm).
+  std::chrono::milliseconds rollback_retry{25};
+  std::chrono::milliseconds rollback_retry_cap{200};
   std::size_t eager_threshold = 8 * 1024;
   std::chrono::microseconds logger_storage_delay{5};
   std::string checkpoint_spill_dir;  // empty: in-memory stable store
@@ -53,6 +68,7 @@ struct JobResult {
   std::vector<Metrics> per_rank;   // merged over incarnations
   net::FabricStats fabric;
   CheckpointStoreStats checkpoints;
+  std::uint64_t chaos_triggers_fired = 0;  // chaos events that fired
   std::uint64_t logger_batches = 0;      // TEL only
   std::uint64_t logger_determinants = 0; // TEL only (still stored at end)
 };

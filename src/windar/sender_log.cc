@@ -45,7 +45,10 @@ void SenderLog::restore(util::ByteReader& r) {
   std::scoped_lock lock(mu_);
   clear_locked();
   const std::uint32_t n = r.u32();
-  per_dst_.assign(n, {});
+  // The blob must describe the same job width this log was built for — a
+  // truncated or foreign checkpoint silently shrinking per_dst_ would make
+  // later append()/release_upto() index out of range.
+  WINDAR_CHECK_EQ(n, per_dst_.size()) << "restored sender log width mismatch";
   for (std::uint32_t d = 0; d < n; ++d) {
     const std::uint32_t count = r.u32();
     for (std::uint32_t i = 0; i < count; ++i) {

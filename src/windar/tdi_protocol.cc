@@ -52,7 +52,11 @@ Piggyback TdiProtocol::on_send(int dst, SeqNo send_index) {
       w.u32(v);
     }
   }
-  return Piggyback{w.take(), 2 * nnz};
+  // One identifier per tracked interval entry, matching the dense path's
+  // accounting (Fig. 6 compares identifier counts; the index half of each
+  // pair is encoding overhead, visible in piggyback_bytes, not an extra
+  // identifier).
+  return Piggyback{w.take(), nnz};
 }
 
 SeqNo TdiProtocol::piggybacked_element(std::span<const std::uint8_t> meta,

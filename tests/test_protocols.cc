@@ -107,15 +107,17 @@ TEST(TdiSparse, EmptyVectorPiggybacksNothing) {
   EXPECT_EQ(pb.blob.size(), 4u);
 }
 
-TEST(TdiSparse, PairsCountTwoIdentifiersEach) {
+TEST(TdiSparse, OneIdentifierPerTrackedEntry) {
   TdiProtocol p(1, 8, TdiProtocol::Encoding::kSparse);
   TdiProtocol sender(2, 8, TdiProtocol::Encoding::kSparse);
   // Make sender's vector have 2 non-zero entries, then learn it.
   util::ByteWriter w;
   w.u32_vec(std::vector<SeqNo>{0, 0, 3, 0, 1, 0, 0, 0});
   p.on_deliver(2, 1, 1, w.view());
-  // p now has entries for self(1), 2 and 4 -> 3 pairs = 6 identifiers.
-  EXPECT_EQ(p.on_send(3, 1).idents, 6u);
+  // p now tracks entries for self(1), 2 and 4 -> 3 identifiers, matching
+  // the dense path's one-ident-per-entry accounting (the pair's index half
+  // is encoding overhead, counted in bytes, not idents).
+  EXPECT_EQ(p.on_send(3, 1).idents, 3u);
 }
 
 TEST(TdiSparse, DenseAndSparseDecodeIdentically) {

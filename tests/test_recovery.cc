@@ -2,11 +2,17 @@
 // correctness obligations — no lost message, no duplicate delivery, no
 // orphan (dependency gate respected), and bit-identical application outcomes
 // versus failure-free runs.
+//
+// Faults are event-keyed (kill_on_delivery: "kill rank R on its Kth app
+// delivery") rather than wall-clock, so each scenario lands at the same
+// protocol-relative point on any host speed; test_recovery_edge.cc keeps
+// wall-clock schedules covered.
 #include <gtest/gtest.h>
 
 #include <atomic>
 
 #include "mp/collectives.h"
+#include "windar/fault.h"
 #include "windar/runtime.h"
 
 namespace windar::ft {
@@ -85,7 +91,7 @@ TEST_P(RecoveryMatrix, SingleFaultSameOutcome) {
   const double clean = run_exchange(config(4, proto, mode), app);
 
   JobConfig faulty = config(4, proto, mode);
-  faulty.faults = {{1, 8.0}};
+  faulty.chaos = {kill_on_delivery(1, 8)};
   const double recovered = run_exchange(faulty, app);
   EXPECT_EQ(clean, recovered);
 }
@@ -97,7 +103,7 @@ TEST_P(RecoveryMatrix, FaultBeforeFirstCheckpointRestartsFromScratch) {
   app.checkpoint_every = 0;  // never checkpoint: recovery = full restart
   const double clean = run_exchange(config(3, proto, mode), app);
   JobConfig faulty = config(3, proto, mode);
-  faulty.faults = {{2, 3.0}};
+  faulty.chaos = {kill_on_delivery(2, 3)};
   EXPECT_EQ(clean, run_exchange(faulty, app));
 }
 
@@ -125,7 +131,7 @@ TEST(Recovery, RecoveryMetricsReported) {
   // loads > 0 assertion below depends on it.
   app.checkpoint_every = 1;
   JobConfig cfg = config(4, ProtocolKind::kTdi, SendMode::kNonBlocking);
-  cfg.faults = {{1, 8.0}};
+  cfg.chaos = {kill_on_delivery(1, 8)};
   auto outcome = std::make_shared<std::atomic<std::uint64_t>>(0);
   auto result = run_job(cfg, [&app, outcome](Ctx& ctx) {
     outcome->fetch_add(app(ctx) % 97);
@@ -143,7 +149,7 @@ TEST(Recovery, TwoSequentialFaultsSameRank) {
   const double clean =
       run_exchange(config(3, ProtocolKind::kTdi, SendMode::kNonBlocking), app);
   JobConfig faulty = config(3, ProtocolKind::kTdi, SendMode::kNonBlocking);
-  faulty.faults = {{1, 6.0}, {1, 25.0}};
+  faulty.chaos = {kill_on_delivery(1, 6), kill_on_delivery(1, 25)};
   EXPECT_EQ(clean, run_exchange(faulty, app));
 }
 
@@ -153,7 +159,7 @@ TEST(Recovery, FaultsOnDifferentRanks) {
   const double clean =
       run_exchange(config(4, ProtocolKind::kTdi, SendMode::kNonBlocking), app);
   JobConfig faulty = config(4, ProtocolKind::kTdi, SendMode::kNonBlocking);
-  faulty.faults = {{0, 6.0}, {2, 20.0}};
+  faulty.chaos = {kill_on_delivery(0, 6), kill_on_delivery(2, 20)};
   EXPECT_EQ(clean, run_exchange(faulty, app));
 }
 
@@ -167,7 +173,7 @@ TEST(Recovery, SimultaneousFaults) {
     const double clean =
         run_exchange(config(4, proto, SendMode::kNonBlocking), app);
     JobConfig faulty = config(4, proto, SendMode::kNonBlocking);
-    faulty.faults = {{1, 8.0}, {2, 8.0}};
+    faulty.chaos = {kill_on_delivery(1, 8), kill_on_delivery(2, 8)};
     EXPECT_EQ(clean, run_exchange(faulty, app))
         << "protocol " << to_string(proto);
   }
@@ -179,7 +185,9 @@ TEST(Recovery, AnySourceNondeterminismStaysCorrectUnderTdi) {
   // commutative reduction still gets the right answer.
   auto total = std::make_shared<std::atomic<long long>>(0);
   JobConfig cfg = config(5, ProtocolKind::kTdi, SendMode::kNonBlocking);
-  cfg.faults = {{0, 4.0}};
+  // Kill rank 0 on its 25th delivery: one past the checkpoint it takes at
+  // round rounds/2 (24 worker messages delivered by then).
+  cfg.chaos = {kill_on_delivery(0, 25)};
   run_job(cfg, [total](Ctx& ctx) {
     const int rounds = 12;
     if (ctx.rank() == 0) {
@@ -229,7 +237,7 @@ TEST(Recovery, SurvivorLogsServeRecoveryAfterCompletion) {
   const double clean =
       run_exchange(config(2, ProtocolKind::kTdi, SendMode::kNonBlocking), app);
   JobConfig faulty = config(2, ProtocolKind::kTdi, SendMode::kNonBlocking);
-  faulty.faults = {{1, 11.0}};
+  faulty.chaos = {kill_on_delivery(1, 19)};
   EXPECT_EQ(clean, run_exchange(faulty, app));
 }
 
@@ -237,7 +245,7 @@ TEST(Recovery, CheckpointSpillToDisk) {
   ExchangeApp app;
   JobConfig cfg = config(3, ProtocolKind::kTdi, SendMode::kNonBlocking);
   cfg.checkpoint_spill_dir = "/tmp/windar_test_recovery_spill";
-  cfg.faults = {{1, 8.0}};
+  cfg.chaos = {kill_on_delivery(1, 8)};
   const double clean =
       run_exchange(config(3, ProtocolKind::kTdi, SendMode::kNonBlocking), app);
   EXPECT_EQ(clean, run_exchange(cfg, app));

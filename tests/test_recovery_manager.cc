@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <thread>
 
 #include "windar/codec.h"
 #include "windar/recovery_manager.h"
@@ -12,8 +13,9 @@
 namespace windar::ft {
 namespace {
 
-ProcessParams make_params(ProtocolKind proto, std::uint32_t incarnation) {
-  ProcessParams p;
+ProcessParams make_params(
+    ProcessParams base, ProtocolKind proto, std::uint32_t incarnation) {
+  ProcessParams p = base;
   p.rank = 0;
   p.n = 2;
   p.protocol = proto;
@@ -33,8 +35,8 @@ net::LatencyModel flat_latency() {
 // A rank-0 recovery engine without the delivery plane (not needed here).
 struct Engine {
   Engine(net::Fabric& f, CheckpointStore& s, ProtocolKind proto,
-         std::uint32_t incarnation)
-      : params(make_params(proto, incarnation)),
+         std::uint32_t incarnation, ProcessParams base = {})
+      : params(make_params(base, proto, incarnation)),
         channels(2, 0),
         tracker(make_protocol(proto, 0, 2)),
         log(2),
@@ -186,6 +188,71 @@ TEST(RecoveryManager, GatherGateStaysClosedUntilAllResponses) {
       1, control_packet(1, 0, Kind::kResponse, 0, body.encode()));
   EXPECT_TRUE(eng.rec.gate());  // last outstanding survivor answered
   EXPECT_FALSE(eng.rec.retry_pending());
+}
+
+TEST(RecoveryManager, RollbackRetryBacksOffToCap) {
+  net::Fabric fabric(2, flat_latency(), 16);
+  CheckpointStore store;
+  ProcessParams base;
+  base.rollback_retry = std::chrono::milliseconds(5);
+  base.rollback_retry_cap = std::chrono::milliseconds(40);
+  Engine eng(fabric, store, ProtocolKind::kTdi, 1, base);
+
+  eng.rec.restore_from_checkpoint();
+  eng.rec.announce_rollback();
+  // Peer 1 never answers (it is "down"); poll periodic() at a high rate for
+  // 200 ms of wall time.
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < std::chrono::milliseconds(200)) {
+    eng.rec.periodic();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto bcasts = eng.metrics.snapshot().rollback_broadcasts;
+  // Backed-off retry times land at 5, 15, 35, 75, 115, 155, 195 ms: at most
+  // 8 rounds including the announce.  A fixed 5 ms interval would produce
+  // ~40.  The lower bound only needs the first couple of retries to land,
+  // which even a sanitizer-slowed host manages in 200 ms of polling.
+  EXPECT_GE(bcasts, 3u);
+  EXPECT_LE(bcasts, 12u);
+}
+
+TEST(RecoveryManager, PeerRollbackGetsImmediateTargetedRebroadcast) {
+  net::Fabric fabric(2, flat_latency(), 17);
+  CheckpointStore store;
+  Engine eng(fabric, store, ProtocolKind::kTdi, 1);
+
+  eng.rec.restore_from_checkpoint();
+  eng.rec.announce_rollback();
+  auto p = fabric.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, wire(Kind::kRollback));
+
+  // Overlapping failures: peer 1's own incarnation announces a ROLLBACK
+  // before ever answering ours — our first broadcast died with its old
+  // incarnation.  The handler must answer resends + RESPONSE and then
+  // re-send our pending ROLLBACK right away instead of waiting out the
+  // backoff interval.
+  eng.rec.handle_rollback(1, /*peer_epoch=*/1, {0, 0});
+  p = fabric.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, wire(Kind::kResponse));
+  p = fabric.endpoint(1).inbox().pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, wire(Kind::kRollback));
+  EXPECT_TRUE(eng.rec.retry_pending());  // still no RESPONSE from peer 1
+}
+
+TEST(RecoveryManager, RepeatedRestoreIncrementsRecoveries) {
+  net::Fabric fabric(2, flat_latency(), 18);
+  CheckpointStore store;
+  Engine eng(fabric, store, ProtocolKind::kTdi, 1);
+  // The metrics sink contract is that counters accumulate: a sink observing
+  // two restore cycles must count both.  The old code assigned
+  // `recoveries = 1`, silently collapsing repeated failures into one.
+  eng.rec.restore_from_checkpoint();
+  EXPECT_EQ(eng.metrics.snapshot().recoveries, 1u);
+  eng.rec.restore_from_checkpoint();
+  EXPECT_EQ(eng.metrics.snapshot().recoveries, 2u);
 }
 
 TEST(RecoveryManager, CheckpointAdvanceReleasesSenderLog) {

@@ -84,6 +84,20 @@ TEST(SenderLog, SaveRestoreRoundTrip) {
   EXPECT_EQ(sizes, (std::vector<std::size_t>{20, 30}));
 }
 
+TEST(SenderLog, RestoreRejectsWidthMismatch) {
+  // A checkpoint blob taken at a different job width (truncated or foreign)
+  // must panic instead of silently resizing per_dst_: later append() /
+  // release_upto() calls would index out of range.
+  SenderLog log(4);
+  util::ByteWriter w;
+  log.save(w);
+  const util::Bytes blob = w.take();
+
+  SenderLog narrower(3);
+  util::ByteReader r(blob);
+  EXPECT_DEATH(narrower.restore(r), "width mismatch");
+}
+
 TEST(SenderLog, ClearResets) {
   SenderLog log(2);
   log.append(0, entry(1));
