@@ -110,7 +110,7 @@ void BM_SenderLogAppendRelease(benchmark::State& state) {
   for (auto _ : state) {
     LogEntry e;
     e.send_index = ++idx;
-    e.payload.assign(payload, 0x5A);
+    e.payload = util::Buffer(util::Bytes(payload, 0x5A));
     log.append(1, std::move(e));
     if (idx % 64 == 0) log.release_upto(1, idx);
   }

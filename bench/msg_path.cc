@@ -1,0 +1,127 @@
+// End-to-end message-path benchmark: app send -> sender log -> fabric ->
+// delivery, on a fault-free pairwise stream.  Measures throughput and — via
+// a counting global operator new — heap allocations on the whole path, the
+// number the zero-copy buffer refactor is meant to lower: the wire packet
+// and the sender-log entry must share one payload buffer instead of each
+// materialising its own copy.
+//
+// Even ranks stream `msgs` payloads to rank+1; odd ranks consume them and
+// checkpoint every `ckpt-every` deliveries so CHECKPOINT_ADVANCE keeps the
+// sender log bounded (the steady-state shape of a long-running job).
+//
+//   ./msg_path [--sizes=64,4096,65536] [--msgs=0] [--protocol=TDI]
+//              [--ranks=2] [--csv]
+//
+// --msgs=0 picks a per-size count targeting ~32 MB of payload per run.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "bench/common.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace windar;
+using namespace windar::bench;
+
+namespace {
+
+ft::ProtocolKind parse_protocol(const std::string& s) {
+  for (auto k : {ft::ProtocolKind::kTdi, ft::ProtocolKind::kTag,
+                 ft::ProtocolKind::kTel, ft::ProtocolKind::kTdiSparse,
+                 ft::ProtocolKind::kPes}) {
+    if (s == to_string(k)) return k;
+  }
+  std::fprintf(stderr, "unknown protocol %s\n", s.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const auto sizes = opts.int_list("sizes", {64, 4096, 65536}, "payload sizes");
+  const int msgs_opt = static_cast<int>(
+      opts.integer("msgs", 0, "messages per sender (0: auto)"));
+  const std::string proto_s = opts.str("protocol", "TDI", "protocol");
+  const int ranks = static_cast<int>(
+      opts.integer("ranks", 2, "ranks (even; pairwise streams)"));
+  const int ckpt_every = static_cast<int>(opts.integer(
+      "ckpt-every", 256, "receiver checkpoint interval (msgs)"));
+  const bool csv = opts.flag("csv", false, "also print CSV");
+  opts.finish();
+  const ft::ProtocolKind protocol = parse_protocol(proto_s);
+
+  util::Table table({"payload B", "msgs", "wall ms", "msgs/s", "MB/s",
+                     "allocs/msg", "alloc B/msg", "log copies B/msg"});
+
+  for (int size : sizes) {
+    const int msgs =
+        msgs_opt > 0
+            ? msgs_opt
+            : std::max(2000, static_cast<int>((32u << 20) /
+                                              static_cast<unsigned>(size)));
+    ft::JobConfig cfg;
+    cfg.n = ranks;
+    cfg.protocol = protocol;
+    cfg.mode = ft::SendMode::kNonBlocking;
+    // Near-zero link latency: the wire is not the subject, the CPU path is.
+    cfg.latency = net::LatencyModel::deterministic(std::chrono::nanoseconds(0),
+                                                   std::chrono::nanoseconds(0));
+    const util::Bytes payload(static_cast<std::size_t>(size), 0x5A);
+
+    const std::uint64_t allocs0 = g_allocs.load();
+    const std::uint64_t bytes0 = g_alloc_bytes.load();
+    const ft::JobResult res = ft::run_job(cfg, [&](ft::Ctx& ctx) {
+      if (ctx.rank() % 2 == 0) {
+        for (int i = 0; i < msgs; ++i) ctx.send(ctx.rank() + 1, 0, payload);
+      } else {
+        for (int i = 0; i < msgs; ++i) {
+          const mp::Message m = ctx.recv(ctx.rank() - 1, 0);
+          WINDAR_CHECK_EQ(m.payload.size(), payload.size());
+          if ((i + 1) % ckpt_every == 0) ctx.checkpoint(util::to_bytes(i));
+        }
+      }
+    });
+    const double allocs_per_msg =
+        static_cast<double>(g_allocs.load() - allocs0) /
+        static_cast<double>(res.total.app_sent);
+    const double alloc_bytes_per_msg =
+        static_cast<double>(g_alloc_bytes.load() - bytes0) /
+        static_cast<double>(res.total.app_sent);
+    const double msgs_per_s =
+        static_cast<double>(res.total.app_sent) / (res.wall_ms / 1e3);
+    const double mb_per_s = msgs_per_s * size / 1e6;
+    const double copied_per_msg =
+        static_cast<double>(res.total.bytes_copied) /
+        static_cast<double>(res.total.app_sent);
+    table.row({std::to_string(size), std::to_string(res.total.app_sent),
+               fmt(res.wall_ms, 1), fmt(msgs_per_s, 0), fmt(mb_per_s, 1),
+               fmt(allocs_per_msg), fmt(alloc_bytes_per_msg, 0),
+               fmt(copied_per_msg, 0)});
+  }
+
+  table.print("msg_path — send->deliver throughput and allocations (" +
+              to_string(protocol) + ", " + std::to_string(ranks) + " ranks)");
+  if (csv) std::fputs(table.csv().c_str(), stdout);
+  return 0;
+}

@@ -16,7 +16,7 @@ int Coll::op_tag() {
   return kTagBase + static_cast<int>(op_seq_++ % (1u << 22));
 }
 
-util::Bytes Coll::bcast(util::Bytes data, int root) {
+util::Buffer Coll::bcast(util::Buffer data, int root) {
   const int n = comm_.size();
   const int me = comm_.rank();
   const int tag = op_tag();
@@ -63,10 +63,11 @@ std::vector<double> Coll::reduce_sum(std::span<const double> contrib,
 
 std::vector<double> Coll::allreduce_sum(std::span<const double> contrib) {
   std::vector<double> total = reduce_sum(contrib, 0);
-  util::Bytes wire;
+  util::Buffer wire;
   if (comm_.rank() == 0) {
-    wire.resize(total.size() * sizeof(double));
-    std::memcpy(wire.data(), total.data(), wire.size());
+    wire = util::Buffer::copy_of(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(total.data()),
+        total.size() * sizeof(double)));
   }
   wire = bcast(std::move(wire), 0);
   std::vector<double> out(wire.size() / sizeof(double));
@@ -125,10 +126,11 @@ std::vector<double> Coll::reduce(std::span<const double> contrib, Op op,
 
 std::vector<double> Coll::allreduce(std::span<const double> contrib, Op op) {
   std::vector<double> total = reduce(contrib, op, 0);
-  util::Bytes wire;
+  util::Buffer wire;
   if (comm_.rank() == 0) {
-    wire.resize(total.size() * sizeof(double));
-    std::memcpy(wire.data(), total.data(), wire.size());
+    wire = util::Buffer::copy_of(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(total.data()),
+        total.size() * sizeof(double)));
   }
   wire = bcast(std::move(wire), 0);
   std::vector<double> out(wire.size() / sizeof(double));
@@ -210,14 +212,14 @@ std::vector<double> Coll::scatter(
   return recv_vec<double>(comm_, root, tag);
 }
 
-std::vector<util::Bytes> Coll::gather(std::span<const std::uint8_t> contrib,
-                                      int root) {
+std::vector<util::Buffer> Coll::gather(std::span<const std::uint8_t> contrib,
+                                       int root) {
   const int n = comm_.size();
   const int me = comm_.rank();
   const int tag = op_tag();
   if (me == root) {
-    std::vector<util::Bytes> out(static_cast<std::size_t>(n));
-    out[static_cast<std::size_t>(me)].assign(contrib.begin(), contrib.end());
+    std::vector<util::Buffer> out(static_cast<std::size_t>(n));
+    out[static_cast<std::size_t>(me)] = util::Buffer::copy_of(contrib);
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
       Message m = comm_.recv(r, tag);

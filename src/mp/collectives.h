@@ -25,7 +25,9 @@ class Coll {
   explicit Coll(Comm& comm) : comm_(comm) {}
 
   /// Binomial-tree broadcast from `root`; returns the broadcast bytes.
-  util::Bytes bcast(util::Bytes data, int root);
+  /// Forwarding ranks re-send the shared buffer they received (no re-copy
+  /// between tree levels beyond the transport's own single materialisation).
+  util::Buffer bcast(util::Buffer data, int root);
 
   /// Reduces per-rank vectors element-wise (sum) onto `root`; every rank
   /// passes its contribution, only `root` receives the full result (others
@@ -39,8 +41,9 @@ class Coll {
   void barrier();
 
   /// Gathers per-rank byte blobs to `root` (rank order); empty elsewhere.
-  std::vector<util::Bytes> gather(std::span<const std::uint8_t> contrib,
-                                  int root);
+  /// Each element aliases the delivered message's buffer.
+  std::vector<util::Buffer> gather(std::span<const std::uint8_t> contrib,
+                                   int root);
 
   /// Element-wise reduction operators.
   enum class Op { kSum, kMin, kMax };

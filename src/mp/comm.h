@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/check.h"
 
@@ -25,10 +26,14 @@ namespace windar::mp {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+// The payload is an immutable shared buffer that aliases the delivered
+// packet's bytes (and, on the fault-tolerant transport, the sender's log
+// entry): delivery hands the application a view, not a fresh vector.  The
+// typed helpers below copy out into application-owned containers.
 struct Message {
   int src = -1;
   int tag = 0;
-  util::Bytes payload;
+  util::Buffer payload;
 };
 
 class Comm {

@@ -21,7 +21,7 @@ void RawComm::send(int dst, int tag, std::span<const std::uint8_t> payload) {
   WINDAR_CHECK(dst >= 0 && dst < size_) << "send to bad rank " << dst;
   fabric_.send(net::make_packet(
       rank_, dst, kRawKind, tag, next_send_[static_cast<std::size_t>(dst)]++,
-      {}, util::Bytes(payload.begin(), payload.end())));
+      {}, util::Buffer::copy_of(payload)));
 }
 
 bool RawComm::pump() {

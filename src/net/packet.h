@@ -9,20 +9,23 @@
 
 #include <cstdint>
 
-#include "util/bytes.h"
+#include "util/buffer.h"
 
 namespace windar::net {
 
 using EndpointId = int;
 
+// Byte sections are immutable shared buffers: copying a packet (the chaos
+// duplicate path) or handing the same payload to the sender log costs a
+// refcount bump, not a byte copy.
 struct Packet {
   EndpointId src = -1;
   EndpointId dst = -1;
   std::uint16_t kind = 0;   // layer-defined message kind
   std::int32_t tag = 0;     // application tag (MPI-style)
   std::uint64_t seq = 0;    // layer-defined sequence number
-  util::Bytes meta;         // piggybacked protocol metadata
-  util::Bytes payload;      // application bytes
+  util::Buffer meta;        // piggybacked protocol metadata
+  util::Buffer payload;     // application bytes
 
   /// Bytes this packet occupies on the simulated wire: a fixed header plus
   /// both byte sections.  Drives the latency model and bandwidth accounting.
@@ -38,7 +41,7 @@ struct Packet {
 /// this instead of hand-initialising field by field.
 inline Packet make_packet(EndpointId src, EndpointId dst, std::uint16_t kind,
                           std::int32_t tag, std::uint64_t seq,
-                          util::Bytes meta = {}, util::Bytes payload = {}) {
+                          util::Buffer meta = {}, util::Buffer payload = {}) {
   Packet p;
   p.src = src;
   p.dst = dst;

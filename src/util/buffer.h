@@ -1,0 +1,171 @@
+// Refcounted immutable byte buffer — the unit of ownership on the message
+// path.
+//
+// A Buffer is a shared, immutable byte region: copying one is a refcount
+// bump (or an inline byte copy for small regions), never a heap copy of the
+// payload.  This is what lets the send path hand the *same* payload bytes to
+// the wire packet and the sender-log entry (copy-once), lets the fabric
+// duplicate packets for free, and lets a log entry outlive the packet it was
+// created with.
+//
+// Storage comes in three shapes, invisible to readers:
+//   * empty       — size() == 0;
+//   * inline      — up to kInlineCapacity bytes stored in the Buffer object
+//                   itself (no heap block, no refcount; copies duplicate the
+//                   few bytes inline);
+//   * shared heap — one refcounted block; `view()` slices alias it without
+//                   copying, and the block lives until the last view dies.
+//
+// Construction is copy-once by design:
+//   * Buffer(Bytes&&)   adopts an existing vector (the ByteWriter emission
+//                       path: `Buffer(w.take())` moves the encoded bytes in
+//                       without touching them);
+//   * Buffer::copy_of   performs the one explicit copy from caller-owned
+//                       memory (an application send buffer) into a single
+//                       shared allocation.
+//
+// Buffers are immutable after construction and safe to share across threads;
+// the refcount is atomic.  A Buffer models a contiguous range of const
+// bytes, so it converts implicitly wherever a std::span<const std::uint8_t>
+// is expected (ByteReader, codec helpers, protocol on_deliver).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <span>
+
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace windar::util {
+
+class Buffer {
+ public:
+  /// Regions at or below this many bytes are stored inline (acks, control
+  /// seqs, small piggybacks): no heap block, no refcount traffic.
+  static constexpr std::size_t kInlineCapacity = 24;
+
+  Buffer() = default;
+
+  /// Adopts `owned` without copying its bytes (small vectors collapse into
+  /// inline storage and free the heap block immediately).  Implicit on
+  /// purpose: `w.take()` emits straight into any Buffer-typed slot.
+  Buffer(Bytes&& owned) {  // NOLINT(google-explicit-constructor)
+    if (owned.size() <= kInlineCapacity) {
+      set_inline(owned.data(), owned.size());
+      return;
+    }
+    auto block = std::make_shared<const Bytes>(std::move(owned));
+    ptr_ = block->data();
+    len_ = block->size();
+    owner_ = std::move(block);
+    heap_blocks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Buffer(std::initializer_list<std::uint8_t> init)
+      : Buffer(copy_of(std::span<const std::uint8_t>(init.begin(),
+                                                     init.size()))) {}
+
+  /// The one deliberate copy on the message path: duplicates caller-owned
+  /// bytes into this buffer (inline if small, else one shared allocation).
+  static Buffer copy_of(std::span<const std::uint8_t> src) {
+    Buffer b;
+    if (src.size() <= kInlineCapacity) {
+      b.set_inline(src.data(), src.size());
+      return b;
+    }
+    // Single allocation: control block and bytes live together.
+    auto block = std::make_shared_for_overwrite<std::uint8_t[]>(src.size());
+    std::memcpy(block.get(), src.data(), src.size());
+    b.ptr_ = block.get();
+    b.len_ = src.size();
+    b.owner_ = std::move(block);
+    heap_blocks_.fetch_add(1, std::memory_order_relaxed);
+    bytes_copied_.fetch_add(src.size(), std::memory_order_relaxed);
+    return b;
+  }
+
+  const std::uint8_t* data() const { return owner_ ? ptr_ : sbo_.data(); }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  std::span<const std::uint8_t> span() const { return {data(), len_}; }
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + len_; }
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+
+  /// A sub-region [offset, offset + len).  Heap-backed buffers share the
+  /// parent's block (no copy, extends its lifetime); inline buffers copy the
+  /// few bytes inline.
+  Buffer view(std::size_t offset, std::size_t len) const {
+    WINDAR_CHECK_LE(offset + len, len_) << "Buffer::view out of range";
+    Buffer b;
+    if (!owner_) {
+      // Inline buffers never exceed the SBO array; restating that here also
+      // lets the compiler's bounds analysis see it.
+      WINDAR_CHECK_LE(offset + len, kInlineCapacity);
+      b.set_inline(sbo_.data() + offset, len);
+      return b;
+    }
+    b.owner_ = owner_;
+    b.ptr_ = ptr_ + offset;
+    b.len_ = len;
+    return b;
+  }
+
+  /// True when both buffers alias the same heap block (the copy-once
+  /// invariant tests assert this for packet vs. log entry).
+  bool shares_storage_with(const Buffer& other) const {
+    return owner_ != nullptr && owner_ == other.owner_;
+  }
+
+  /// True when the bytes live inside this object (no shared heap block).
+  bool inline_storage() const { return owner_ == nullptr; }
+
+  /// Explicit copy out, for callers that need mutable/owned bytes.
+  Bytes to_vector() const { return Bytes(begin(), end()); }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.len_ == b.len_ && std::memcmp(a.data(), b.data(), a.len_) == 0;
+  }
+  friend bool operator==(const Buffer& a, std::span<const std::uint8_t> b) {
+    return a.len_ == b.size() &&
+           std::memcmp(a.data(), b.data(), a.len_) == 0;
+  }
+
+  // ---- process-wide accounting (bench/msg_path, Metrics) ----
+
+  /// Shared heap blocks created since process start (adopt + copy_of).
+  static std::uint64_t heap_blocks_created() {
+    return heap_blocks_.load(std::memory_order_relaxed);
+  }
+  /// Bytes duplicated through copy_of since process start.
+  static std::uint64_t total_bytes_copied() {
+    return bytes_copied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void set_inline(const std::uint8_t* src, std::size_t n) {
+    if (n > 0) std::memcpy(sbo_.data(), src, n);
+    len_ = n;
+  }
+
+  inline static std::atomic<std::uint64_t> heap_blocks_{0};
+  inline static std::atomic<std::uint64_t> bytes_copied_{0};
+
+  std::shared_ptr<const void> owner_;   // null: inline (or empty)
+  const std::uint8_t* ptr_ = nullptr;   // heap view; unused when inline
+  std::size_t len_ = 0;
+  std::array<std::uint8_t, kInlineCapacity> sbo_{};
+};
+
+/// Emits a ByteWriter's accumulated bytes as an immutable Buffer without
+/// copying them (small encodings collapse into inline storage).  This is the
+/// builder path every packet-body encoder goes through.
+inline Buffer take_buffer(ByteWriter& w) { return Buffer(w.take()); }
+
+}  // namespace windar::util

@@ -107,7 +107,7 @@ class ByteReader {
 
   Bytes bytes() {
     std::uint32_t n = u32();
-    WINDAR_CHECK_LE(pos_ + n, data_.size()) << "ByteReader underflow";
+    WINDAR_CHECK_LE(n, remaining()) << "ByteReader underflow";
     Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;
@@ -116,7 +116,7 @@ class ByteReader {
 
   std::string str() {
     std::uint32_t n = u32();
-    WINDAR_CHECK_LE(pos_ + n, data_.size()) << "ByteReader underflow";
+    WINDAR_CHECK_LE(n, remaining()) << "ByteReader underflow";
     std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, n);
     pos_ += n;
     return out;
@@ -124,6 +124,11 @@ class ByteReader {
 
   std::vector<std::uint32_t> u32_vec() {
     std::uint32_t n = u32();
+    // Validate the whole section against remaining() BEFORE reserving: a
+    // corrupt length prefix must die on the bounds check, not first attempt
+    // a multi-gigabyte reserve.
+    WINDAR_CHECK_LE(std::size_t{n} * sizeof(std::uint32_t), remaining())
+        << "ByteReader underflow";
     std::vector<std::uint32_t> out;
     out.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) out.push_back(u32());
@@ -132,6 +137,8 @@ class ByteReader {
 
   std::vector<std::uint64_t> u64_vec() {
     std::uint32_t n = u32();
+    WINDAR_CHECK_LE(std::size_t{n} * sizeof(std::uint64_t), remaining())
+        << "ByteReader underflow";
     std::vector<std::uint64_t> out;
     out.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) out.push_back(u64());

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "windar/determinant.h"
 
@@ -59,11 +60,11 @@ struct ResponseBody {
   SeqNo their_deliver_of_mine = 0;  // survivor's last_deliver for the peer
   std::vector<Determinant> determinants;
 
-  util::Bytes encode() const {
+  util::Buffer encode() const {
     util::ByteWriter w;
     w.u32(their_deliver_of_mine);
     write_determinants(w, determinants);
-    return w.take();
+    return util::take_buffer(w);
   }
 
   static ResponseBody decode(std::span<const std::uint8_t> payload) {

@@ -16,6 +16,8 @@ void Metrics::merge(const Metrics& o) {
   piggyback_idents += o.piggyback_idents;
   piggyback_bytes += o.piggyback_bytes;
   payload_bytes += o.payload_bytes;
+  bytes_copied += o.bytes_copied;
+  buffer_allocs += o.buffer_allocs;
   track_send_ns += o.track_send_ns;
   track_deliver_ns += o.track_deliver_ns;
   send_block_ns += o.send_block_ns;

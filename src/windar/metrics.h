@@ -27,6 +27,13 @@ struct Metrics {
   std::uint64_t piggyback_bytes = 0;
   std::uint64_t payload_bytes = 0;
 
+  // zero-copy plane: what the send path actually materialises.  Copy-once
+  // means bytes_copied == payload_bytes (each app payload duplicated into
+  // exactly one shared buffer) and buffer_allocs counts the shared heap
+  // blocks created per send (0 for inline-sized messages).
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t buffer_allocs = 0;
+
   // tracking time: CPU spent inside protocol code on the application thread
   std::int64_t track_send_ns = 0;
   std::int64_t track_deliver_ns = 0;

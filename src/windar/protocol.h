@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "windar/determinant.h"
 #include "windar/wire.h"
@@ -29,20 +30,25 @@
 namespace windar::ft {
 
 /// Metadata blob attached to one outgoing message, plus its size in
-/// "identifiers" (integers) for the paper's Fig. 6 accounting.
+/// "identifiers" (integers) for the paper's Fig. 6 accounting.  The blob is
+/// an immutable shared buffer: the wire packet and the sender-log entry both
+/// alias the single encoding produced by on_send.
 struct Piggyback {
-  util::Bytes blob;
+  util::Buffer blob;
   std::uint32_t idents = 0;
 };
 
-/// A message parked in the receiving queue awaiting delivery.
+/// A message parked in the receiving queue awaiting delivery.  Both byte
+/// sections alias the buffers that arrived in the packet — admission moves
+/// them here and delivery moves the payload onward to the application
+/// without re-materialising vectors.
 struct QueuedMsg {
   int src = -1;
   std::int32_t tag = 0;
   SeqNo send_index = 0;
   bool eager_acked = false;
-  util::Bytes meta;
-  util::Bytes payload;
+  util::Buffer meta;
+  util::Buffer payload;
 };
 
 class LoggingProtocol {

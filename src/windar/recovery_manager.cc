@@ -85,7 +85,7 @@ void RecoveryManager::announce_rollback() {
 void RecoveryManager::broadcast_rollback_locked() {
   const auto [last_deliver, delivered_total] = channels_.deliver_snapshot();
   (void)delivered_total;
-  const util::Bytes payload = encode_rollback_body(last_deliver);
+  const util::Buffer payload = encode_rollback_body(last_deliver);
   for (int j = 0; j < params_.n; ++j) {
     if (response_seen_[static_cast<std::size_t>(j)]) continue;
     send_path_.send_control(j, Kind::kRollback, params_.incarnation, payload);

@@ -51,7 +51,7 @@ void SendPath::transmit(net::Packet p) {
 }
 
 void SendPath::send_control(int dst, Kind kind, std::uint64_t seq,
-                            util::Bytes payload) {
+                            util::Buffer payload) {
   metrics_.update([](Metrics& m) { ++m.control_msgs; });
   fabric_.send(control_packet(params_.rank, dst, kind, seq,
                               std::move(payload)));
@@ -66,13 +66,19 @@ void SendPath::send_app(int dst, int tag,
       [&](LoggingProtocol& proto) { return proto.on_send(dst, idx); });
   const std::int64_t track_ns = util::now_ns() - t0;
 
-  net::Packet p = app_packet(params_.rank, dst, tag, idx, pb.blob, payload);
+  // Copy-once: the application's bytes are duplicated into exactly one
+  // shared buffer, which the wire packet, the sender-log entry, and any
+  // later log-driven resend all alias.
+  util::Buffer body = util::Buffer::copy_of(payload);
+  const std::uint64_t send_allocs =
+      (body.inline_storage() ? 0u : 1u) + (pb.blob.inline_storage() ? 0u : 1u);
+  net::Packet p = app_packet(params_.rank, dst, tag, idx, pb.blob, body);
 
   LogEntry e;
   e.send_index = idx;
   e.tag = tag;
   e.meta = std::move(pb.blob);
-  e.payload.assign(payload.begin(), payload.end());
+  e.payload = std::move(body);
   log_.append(dst, std::move(e));
 
   const std::size_t log_bytes = log_.bytes();
@@ -83,6 +89,8 @@ void SendPath::send_app(int dst, int tag,
     m.piggyback_idents += pb.idents;
     m.piggyback_bytes += p.meta.size();
     m.payload_bytes += payload.size();
+    m.bytes_copied += payload.size();
+    m.buffer_allocs += send_allocs;
     m.log_peak_bytes = std::max<std::uint64_t>(m.log_peak_bytes, log_bytes);
     m.log_peak_entries =
         std::max<std::uint64_t>(m.log_peak_entries, log_entries);

@@ -78,7 +78,7 @@ class SendPath {
   /// Control-plane message: counted and sent straight to the fabric — it
   /// must flow even while the sender thread is being torn down.
   void send_control(int dst, Kind kind, std::uint64_t seq,
-                    util::Bytes payload);
+                    util::Buffer payload);
 
   /// Blocking-mode event pump: pops at most one packet (bounded by
   /// `deadline`), dispatches it, runs periodic work.  Throws Killed /

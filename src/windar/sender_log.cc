@@ -35,8 +35,8 @@ void SenderLog::save(util::ByteWriter& w) const {
     for (const LogEntry& e : q) {
       w.u32(e.send_index);
       w.i32(e.tag);
-      w.bytes(e.meta);
-      w.bytes(e.payload);
+      w.bytes(e.meta.span());
+      w.bytes(e.payload.span());
     }
   }
 }

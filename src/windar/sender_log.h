@@ -19,16 +19,20 @@
 #include <mutex>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "windar/wire.h"
 
 namespace windar::ft {
 
+// Entries alias the buffers of the original transmission (copy-once): the
+// log does not duplicate payload bytes, it keeps the wire packet's buffers
+// alive, and a resend puts the very same buffers back on the fabric.
 struct LogEntry {
   SeqNo send_index = 0;  // per (me -> dst) pair
   std::int32_t tag = 0;
-  util::Bytes meta;      // piggyback blob captured at original send
-  util::Bytes payload;
+  util::Buffer meta;     // piggyback blob captured at original send
+  util::Buffer payload;
 
   std::size_t bytes() const { return 16 + meta.size() + payload.size(); }
 };

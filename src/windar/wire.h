@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "util/buffer.h"
 #include "util/bytes.h"
 
 namespace windar::ft {
@@ -68,20 +69,23 @@ inline std::string to_string(SendMode m) {
 // ---- packet builders ----
 
 /// Application message: `seq` carries the per-pair send_index and `meta` the
-/// protocol piggyback.  Resends must use the same builder so a retransmitted
-/// message is byte-identical to the original.
+/// protocol piggyback.  Both sections are shared immutable buffers: the
+/// packet references the caller's bytes instead of copying them, so the
+/// sender log, a resend, and the original transmission all alias one
+/// payload.  Resends must use the same builder so a retransmitted message is
+/// byte-identical to the original.
 inline net::Packet app_packet(int src, int dst, std::int32_t tag,
-                              SeqNo send_index, const util::Bytes& meta,
-                              std::span<const std::uint8_t> payload) {
-  return net::make_packet(src, dst, wire(Kind::kApp), tag, send_index, meta,
-                          util::Bytes(payload.begin(), payload.end()));
+                              SeqNo send_index, util::Buffer meta,
+                              util::Buffer payload) {
+  return net::make_packet(src, dst, wire(Kind::kApp), tag, send_index,
+                          std::move(meta), std::move(payload));
 }
 
 /// Control message (everything that is not kApp): tag unused, `seq` and
 /// `payload` are interpreted per Kind.
 inline net::Packet control_packet(int src, int dst, Kind kind,
                                   std::uint64_t seq,
-                                  util::Bytes payload = {}) {
+                                  util::Buffer payload = {}) {
   return net::make_packet(src, dst, wire(kind), 0, seq, {},
                           std::move(payload));
 }
@@ -91,10 +95,10 @@ inline net::Packet control_packet(int src, int dst, Kind kind,
 // vector; survivor j reads element j to learn which of its messages must be
 // resent (Algorithm 1 line 46).
 
-inline util::Bytes encode_rollback_body(std::span<const SeqNo> last_deliver) {
+inline util::Buffer encode_rollback_body(std::span<const SeqNo> last_deliver) {
   util::ByteWriter w;
   w.u32_vec(last_deliver);
-  return w.take();
+  return util::take_buffer(w);
 }
 
 inline std::vector<SeqNo> decode_rollback_body(

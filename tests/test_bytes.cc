@@ -1,8 +1,10 @@
-// Unit tests for the binary serialization primitives.
+// Unit tests for the binary serialization primitives and the shared
+// immutable Buffer they emit into.
 #include <gtest/gtest.h>
 
 #include <limits>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 
 namespace windar::util {
@@ -104,6 +106,39 @@ TEST(Bytes, TriviallyCopyableRoundTrip) {
   EXPECT_DOUBLE_EQ(q.b, 2.5);
 }
 
+TEST(Bytes, TruncatedSectionAborts) {
+  ByteWriter w;
+  w.bytes(Bytes{1, 2, 3, 4, 5});
+  const Bytes full = w.take();
+  // Drop the tail of the section: the length prefix promises 5 bytes but
+  // only 2 survive.
+  std::span<const std::uint8_t> cut(full.data(), full.size() - 3);
+  ByteReader r(cut);
+  EXPECT_DEATH((void)r.bytes(), "underflow");
+}
+
+TEST(Bytes, TruncatedVectorAborts) {
+  ByteWriter w;
+  w.u64_vec(std::vector<std::uint64_t>{1, 2, 3});
+  const Bytes full = w.take();
+  std::span<const std::uint8_t> cut(full.data(), full.size() - 8);
+  ByteReader r(cut);
+  EXPECT_DEATH((void)r.u64_vec(), "underflow");
+}
+
+TEST(Bytes, CorruptLengthPrefixDiesOnBoundsCheckNotReserve) {
+  // A hostile/corrupt prefix claiming ~4 billion elements must hit the
+  // bounds check before any attempt to reserve that much memory.
+  ByteWriter w;
+  w.u32(0xFFFFFFF0u);  // element count
+  w.u32(7);            // but only one element's worth of bytes follows
+  const Bytes blob = w.take();
+  EXPECT_DEATH((void)ByteReader(blob).u32_vec(), "underflow");
+  EXPECT_DEATH((void)ByteReader(blob).u64_vec(), "underflow");
+  EXPECT_DEATH((void)ByteReader(blob).bytes(), "underflow");
+  EXPECT_DEATH((void)ByteReader(blob).str(), "underflow");
+}
+
 TEST(Bytes, WriterSizeTracksAppends) {
   ByteWriter w;
   EXPECT_EQ(w.size(), 0u);
@@ -113,6 +148,116 @@ TEST(Bytes, WriterSizeTracksAppends) {
   EXPECT_EQ(w.size(), 9u);
   Bytes taken = w.take();
   EXPECT_EQ(taken.size(), 9u);
+}
+
+// ---- util::Buffer: shared immutable regions on the message path ----
+
+TEST(Buffer, SmallRegionsStayInline) {
+  const Buffer b = Buffer::copy_of(Bytes(Buffer::kInlineCapacity, 0x11));
+  EXPECT_TRUE(b.inline_storage());
+  EXPECT_EQ(b.size(), Buffer::kInlineCapacity);
+  const Buffer big = Buffer::copy_of(Bytes(Buffer::kInlineCapacity + 1, 0x22));
+  EXPECT_FALSE(big.inline_storage());
+}
+
+TEST(Buffer, AdoptingAVectorDoesNotChangeTheBytes) {
+  Bytes src(100, 0xCD);
+  src[0] = 1;
+  src[99] = 2;
+  const Bytes expect = src;
+  const Buffer b(std::move(src));
+  EXPECT_FALSE(b.inline_storage());
+  EXPECT_EQ(b, expect);
+  EXPECT_EQ(b.to_vector(), expect);
+}
+
+TEST(Buffer, SmallAdoptedVectorCollapsesInline) {
+  const Buffer b = Buffer(Bytes{1, 2, 3});
+  EXPECT_TRUE(b.inline_storage());
+  EXPECT_EQ(b, Buffer({1, 2, 3}));
+}
+
+TEST(Buffer, CopiesShareTheHeapBlock) {
+  const Buffer a = Buffer::copy_of(Bytes(64, 0xAB));
+  const Buffer b = a;  // refcount bump, not a byte copy
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Buffer, ViewAliasesWithoutCopying) {
+  Bytes src(64, 0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i);
+  }
+  const Buffer whole(std::move(src));
+  const Buffer mid = whole.view(10, 20);
+  EXPECT_TRUE(mid.shares_storage_with(whole));
+  EXPECT_EQ(mid.size(), 20u);
+  EXPECT_EQ(mid.data(), whole.data() + 10);
+  EXPECT_EQ(mid[0], 10);
+  EXPECT_DEATH((void)whole.view(50, 20), "out of range");
+}
+
+TEST(Buffer, LogEntryOutlivesDeliveredPacket) {
+  // The copy-once contract: the sender-log entry and the wire packet alias
+  // one block, and the entry (kept for resends) must stay valid after the
+  // packet is delivered and destroyed.
+  Buffer log_entry;
+  {
+    const Buffer packet = Buffer::copy_of(Bytes(4096, 0x5A));
+    log_entry = packet;
+    EXPECT_TRUE(log_entry.shares_storage_with(packet));
+  }  // packet destroyed — its refcount drops, the block survives
+  ASSERT_EQ(log_entry.size(), 4096u);
+  for (std::size_t i = 0; i < log_entry.size(); i += 512) {
+    EXPECT_EQ(log_entry[i], 0x5A);
+  }
+}
+
+TEST(Buffer, ViewKeepsParentBlockAlive) {
+  Buffer tail;
+  {
+    const Buffer whole = Buffer::copy_of(Bytes(256, 0x77));
+    tail = whole.view(200, 56);
+  }
+  ASSERT_EQ(tail.size(), 56u);
+  EXPECT_EQ(tail[0], 0x77);
+  EXPECT_EQ(tail[55], 0x77);
+}
+
+TEST(Buffer, CopyOfCountsExactlyOneCopy) {
+  const std::uint64_t blocks0 = Buffer::heap_blocks_created();
+  const std::uint64_t copied0 = Buffer::total_bytes_copied();
+  const Buffer a = Buffer::copy_of(Bytes(1000, 1));
+  const Buffer b = a;            // refcount bump
+  const Buffer c = a.view(0, 500);  // alias
+  EXPECT_EQ(Buffer::heap_blocks_created() - blocks0, 1u);
+  EXPECT_EQ(Buffer::total_bytes_copied() - copied0, 1000u);
+  EXPECT_EQ(b.size() + c.size(), 1500u);
+}
+
+TEST(Buffer, TakeBufferEmitsWriterBytesVerbatim) {
+  ByteWriter w;
+  w.u32(0xDEADBEEFu);
+  w.str("payload");
+  ByteWriter w2;
+  w2.u32(0xDEADBEEFu);
+  w2.str("payload");
+  const Bytes expect = w2.take();
+  const Buffer b = take_buffer(w);
+  EXPECT_EQ(b, expect);
+  ByteReader r(b);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.str(), "payload");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, ConvertsToSpanForReaders) {
+  const Buffer b({9, 8, 7});
+  std::span<const std::uint8_t> s = b;
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 9);
+  EXPECT_EQ(s[2], 7);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ TEST_P(CollectivesP, BcastFromEveryRoot) {
   run_raw(n, [n](Comm& c) {
     Coll coll(c);
     for (int root = 0; root < n; ++root) {
-      util::Bytes data;
+      util::Buffer data;
       if (c.rank() == root) data = {1, 2, 3, static_cast<std::uint8_t>(root)};
       data = coll.bcast(std::move(data), root);
       ASSERT_EQ(data.size(), 4u);

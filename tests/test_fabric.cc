@@ -17,7 +17,7 @@ Packet make(int src, int dst, std::uint64_t seq, std::size_t payload = 0) {
   p.src = src;
   p.dst = dst;
   p.seq = seq;
-  p.payload.resize(payload);
+  p.payload = util::Buffer(util::Bytes(payload, 0));
   return p;
 }
 
@@ -124,7 +124,7 @@ TEST(Fabric, SendAfterShutdownIsDropped) {
 
 TEST(Fabric, WireSizeIncludesHeaderAndSections) {
   Packet p = make(0, 1, 1, 10);
-  p.meta.resize(6);
+  p.meta = util::Buffer(util::Bytes(6, 0));
   EXPECT_EQ(p.wire_size(), 30u + 16u);
 }
 

@@ -11,7 +11,7 @@ LogEntry entry(SeqNo idx, std::size_t payload = 4) {
   e.send_index = idx;
   e.tag = 1;
   e.meta = {1, 2};
-  e.payload.assign(payload, 0xEE);
+  e.payload = util::Buffer(util::Bytes(payload, 0xEE));
   return e;
 }
 
