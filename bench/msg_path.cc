@@ -10,14 +10,25 @@
 // sender log bounded (the steady-state shape of a long-running job).
 //
 //   ./msg_path [--sizes=64,4096,65536] [--msgs=0] [--protocol=TDI]
-//              [--ranks=2] [--csv]
+//              [--ranks=2] [--shards=0] [--csv]
+//   ./msg_path --contend [--ranks=8] [--sizes=4096] [--shards=1,4]
 //
 // --msgs=0 picks a per-size count targeting ~32 MB of payload per run.
+// --shards selects the fabric scheduler shard count (0: default).
+//
+// --contend is the interconnect-scalability scenario: ranks/2 concurrent
+// pairwise streams hammer the fabric through the raw transport (no
+// recovery-layer work), once per requested shard count, reporting msgs/s
+// and the speedup over the first (baseline) shard count.  This is the
+// A7 experiment: the fabric must not be the bottleneck the causal-delivery
+// overhead measurements end up measuring.
 #include <atomic>
 #include <cstdlib>
 #include <new>
 
 #include "bench/common.h"
+#include "mp/runtime.h"
+#include "util/clock.h"
 
 namespace {
 
@@ -55,6 +66,60 @@ ft::ProtocolKind parse_protocol(const std::string& s) {
   std::exit(1);
 }
 
+// Multi-sender contention sweep over shard counts: ranks/2 pairwise streams
+// (rank k blasts rank k + ranks/2, so consecutive destination ids spread
+// across every shard) through the raw transport — nearly all CPU is fabric
+// path (send, shard scheduler, inbox) and scheduler serialization is what
+// the sweep exposes.
+void run_contention(int ranks, const std::vector<int>& sizes,
+                    const std::vector<int>& shard_counts, int msgs_opt,
+                    bool csv) {
+  util::Table table({"payload B", "shards", "msgs", "wall ms", "msgs/s",
+                     "MB/s", "vs first"});
+  for (int size : sizes) {
+    const int msgs =
+        msgs_opt > 0
+            ? msgs_opt
+            : std::max(2000, static_cast<int>((32u << 20) /
+                                              static_cast<unsigned>(size) /
+                                              static_cast<unsigned>(
+                                                  std::max(1, ranks / 2))));
+    const util::Bytes payload(static_cast<std::size_t>(size), 0x5A);
+    double first_rate = 0;
+    for (int shards : shard_counts) {
+      const double t0 = util::now_ms();
+      mp::run_raw(
+          ranks,
+          [&](mp::Comm& comm) {
+            const int r = comm.rank();
+            const int half = comm.size() / 2;
+            if (r < half) {
+              for (int i = 0; i < msgs; ++i) comm.send(r + half, 0, payload);
+            } else {
+              for (int i = 0; i < msgs; ++i) {
+                const mp::Message m = comm.recv(r - half, 0);
+                WINDAR_CHECK_EQ(m.payload.size(), payload.size());
+              }
+            }
+          },
+          net::LatencyModel::deterministic(std::chrono::nanoseconds(0),
+                                           std::chrono::nanoseconds(0)),
+          /*seed=*/1, shards);
+      const double wall_ms = util::now_ms() - t0;
+      const double total_msgs = static_cast<double>(msgs) * (ranks / 2);
+      const double rate = total_msgs / (wall_ms / 1e3);
+      if (first_rate == 0) first_rate = rate;
+      table.row({std::to_string(size), std::to_string(shards),
+                 std::to_string(static_cast<long long>(total_msgs)),
+                 fmt(wall_ms, 1), fmt(rate, 0), fmt(rate * size / 1e6, 1),
+                 fmt(rate / first_rate, 2) + "x"});
+    }
+  }
+  table.print("msg_path --contend — " + std::to_string(ranks / 2) +
+              " concurrent streams, raw transport, by fabric shards");
+  if (csv) std::fputs(table.csv().c_str(), stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,9 +132,20 @@ int main(int argc, char** argv) {
       opts.integer("ranks", 2, "ranks (even; pairwise streams)"));
   const int ckpt_every = static_cast<int>(opts.integer(
       "ckpt-every", 256, "receiver checkpoint interval (msgs)"));
+  const int shards = static_cast<int>(opts.integer(
+      "shards", 0, "fabric scheduler shards (0: default)"));
+  const bool contend = opts.flag(
+      "contend", false, "multi-sender contention sweep over --shard-sweep");
+  const auto shard_sweep =
+      opts.int_list("shard-sweep", {1, 4}, "shard counts for --contend");
   const bool csv = opts.flag("csv", false, "also print CSV");
   opts.finish();
   const ft::ProtocolKind protocol = parse_protocol(proto_s);
+
+  if (contend) {
+    run_contention(ranks, sizes, shard_sweep, msgs_opt, csv);
+    return 0;
+  }
 
   util::Table table({"payload B", "msgs", "wall ms", "msgs/s", "MB/s",
                      "allocs/msg", "alloc B/msg", "log copies B/msg"});
@@ -84,6 +160,7 @@ int main(int argc, char** argv) {
     cfg.n = ranks;
     cfg.protocol = protocol;
     cfg.mode = ft::SendMode::kNonBlocking;
+    cfg.fabric_shards = shards;
     // Near-zero link latency: the wire is not the subject, the CPU path is.
     cfg.latency = net::LatencyModel::deterministic(std::chrono::nanoseconds(0),
                                                    std::chrono::nanoseconds(0));

@@ -12,8 +12,8 @@
 namespace windar::mp {
 
 RawJobResult run_raw(int n, const RankFn& fn, net::LatencyModel model,
-                     std::uint64_t seed) {
-  net::Fabric fabric(n, model, seed);
+                     std::uint64_t seed, int fabric_shards) {
+  net::Fabric fabric(n, model, seed, fabric_shards);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
   std::exception_ptr first_error;

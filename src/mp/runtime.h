@@ -21,9 +21,10 @@ struct RawJobResult {
 };
 
 /// Runs `fn` on `n` rank threads; rethrows the first rank exception after
-/// joining everyone.
+/// joining everyone.  `fabric_shards` selects the fabric's scheduler shard
+/// count (0: WINDAR_FABRIC_SHARDS env, else min(4, hardware_concurrency)).
 RawJobResult run_raw(int n, const RankFn& fn,
                      net::LatencyModel model = net::LatencyModel{},
-                     std::uint64_t seed = 1);
+                     std::uint64_t seed = 1, int fabric_shards = 0);
 
 }  // namespace windar::mp

@@ -58,8 +58,10 @@ struct ChaosEvent {
 
 /// Thread-safe trigger table consulted by the fabric on every send and
 /// delivery.  Matching is cheap (a short vector scan) and runs outside the
-/// fabric's scheduler lock; the kill handler is invoked with no FaultSchedule
-/// or fabric lock held.
+/// fabric's shard locks; the kill handler is invoked with no FaultSchedule
+/// or fabric lock held.  Sends and deliveries arrive concurrently from rank
+/// threads and every shard scheduler thread — `mu_` serializes the nth-match
+/// counting so each event still fires exactly once per matching sequence.
 class FaultSchedule {
  public:
   using KillHandler = std::function<void(const ChaosEvent&)>;
@@ -91,8 +93,10 @@ class FaultSchedule {
   SendEffects on_send(const Packet& p);
 
   /// Matches kDeliver triggers after a packet reached a live endpoint;
-  /// fires kill handlers for matched kills.  Called by the fabric scheduler
-  /// with its lock released.
+  /// fires kill handlers for matched kills.  Called by the delivering
+  /// shard's scheduler thread with its lock released; with an attached
+  /// schedule the fabric delivers per-packet (never batched), so a fired
+  /// kill poisons the inbox before the next packet for that endpoint lands.
   void on_deliver(int src, int dst, std::uint16_t kind);
 
   /// Events whose trigger fired at least once (diagnostics / soak asserts).

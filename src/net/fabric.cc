@@ -1,17 +1,46 @@
 #include "net/fabric.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "util/check.h"
 
 namespace windar::net {
 
-Fabric::Fabric(int endpoints, LatencyModel model, std::uint64_t seed)
-    : model_(model), rng_(seed) {
+int Fabric::default_shards() {
+  if (const char* env = std::getenv("WINDAR_FABRIC_SHARDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(4u, hw == 0 ? 1u : hw));
+}
+
+Fabric::Fabric(int endpoints, LatencyModel model, std::uint64_t seed,
+               int num_shards)
+    : model_(model) {
   WINDAR_CHECK_GT(endpoints, 0) << "fabric needs at least one endpoint";
+  if (num_shards <= 0) num_shards = default_shards();
+  num_shards = std::min(num_shards, endpoints);
   eps_.reserve(static_cast<std::size_t>(endpoints));
   for (int i = 0; i < endpoints; ++i) {
     eps_.push_back(std::make_unique<Endpoint>());
   }
-  scheduler_ = std::thread([this] { scheduler_loop(); });
+  util::Rng seeder(seed);
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Split per shard so adding shards never re-correlates jitter streams;
+    // one shard reproduces the seed's original stream behaviourally (same
+    // generator family, deterministic in the seed).
+    shard->rng = seeder.split(static_cast<std::uint64_t>(s));
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, sh = shard.get()] {
+      scheduler_loop(*sh);
+    });
+  }
 }
 
 Fabric::~Fabric() { shutdown(); }
@@ -24,38 +53,48 @@ Endpoint& Fabric::endpoint(EndpointId id) {
 void Fabric::send(Packet p) {
   WINDAR_CHECK(p.dst >= 0 && p.dst < endpoint_count())
       << "send to bad endpoint " << p.dst;
-  // Chaos triggers run before enqueue and outside mu_: a kill fired here may
-  // re-enter the fabric (kill()).  A kill targeting the sender itself drops
-  // the triggering packet (the crash interrupted the send); kills of other
-  // endpoints leave it in flight (packets survive their sender's death).
+  // Chaos triggers run before enqueue and outside any shard lock: a kill
+  // fired here may re-enter the fabric (kill()).  A kill targeting the
+  // sender itself drops the triggering packet (the crash interrupted the
+  // send); kills of other endpoints leave it in flight (packets survive
+  // their sender's death).
   FaultSchedule::SendEffects fx;
   if (FaultSchedule* chaos = chaos_.load(std::memory_order_acquire)) {
     fx = chaos->on_send(p);
     if (fx.drop) {
-      std::scoped_lock lock(mu_);
-      ++stats_.packets_dropped_dead;
+      // The send was attempted, so it counts toward packets_sent — the
+      // dedicated chaos counter keeps the dead-destination signal
+      // (packets_dropped_dead) clean for the chaos soaks.  No wire bytes:
+      // the packet never left the crashing sender.
+      Shard& sh = shard_for(p.dst);
+      std::scoped_lock lock(sh.mu);
+      ++sh.stats.packets_sent;
+      ++sh.stats.packets_dropped_chaos;
       return;
     }
   }
   const std::size_t bytes = p.wire_size();
+  Shard& sh = shard_for(p.dst);
   {
-    std::scoped_lock lock(mu_);
-    if (shutdown_) return;
+    std::scoped_lock lock(sh.mu);
+    if (sh.stopping) return;
     const auto now = std::chrono::steady_clock::now();
     if (fx.duplicate) {
       // Independent latency draw: the duplicate frequently overtakes the
       // original, exercising the receiver's duplicate filter both ways.
-      const auto dup_delay = model_.delay(bytes, rng_) + fx.extra_delay;
-      ++stats_.packets_sent;
-      stats_.bytes_sent += bytes;
-      in_flight_.push(InFlight{now + dup_delay, next_order_++, p});
+      const auto dup_delay = model_.delay(bytes, sh.rng) + fx.extra_delay;
+      ++sh.stats.packets_sent;
+      sh.stats.bytes_sent += bytes;
+      sh.in_flight.push(InFlight{now + dup_delay,
+                                 next_order_.fetch_add(1), p});
     }
-    const auto delay = model_.delay(bytes, rng_) + fx.extra_delay;
-    ++stats_.packets_sent;
-    stats_.bytes_sent += bytes;
-    in_flight_.push(InFlight{now + delay, next_order_++, std::move(p)});
+    const auto delay = model_.delay(bytes, sh.rng) + fx.extra_delay;
+    ++sh.stats.packets_sent;
+    sh.stats.bytes_sent += bytes;
+    sh.in_flight.push(InFlight{now + delay, next_order_.fetch_add(1),
+                               std::move(p)});
   }
-  cv_.notify_one();
+  sh.cv.notify_one();
 }
 
 void Fabric::kill(EndpointId id) {
@@ -72,59 +111,114 @@ void Fabric::revive(EndpointId id) {
 }
 
 void Fabric::shutdown() {
-  {
-    std::scoped_lock lock(mu_);
-    if (shutdown_) return;
-    shutdown_ = true;
+  if (shutdown_.exchange(true)) return;
+  for (auto& shard : shards_) {
+    {
+      std::scoped_lock lock(shard->mu);
+      shard->stopping = true;
+    }
+    shard->cv.notify_all();
   }
-  cv_.notify_all();
-  if (scheduler_.joinable()) scheduler_.join();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
   for (auto& ep : eps_) ep->inbox_.poison();
 }
 
 FabricStats Fabric::stats() const {
-  std::scoped_lock lock(mu_);
-  return stats_;
+  FabricStats merged;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mu);
+    merged.merge(shard->stats);
+  }
+  return merged;
 }
 
-void Fabric::scheduler_loop() {
-  std::unique_lock lock(mu_);
+void Fabric::scheduler_loop(Shard& sh) {
+  std::vector<Packet> batch;
+  std::unique_lock lock(sh.mu);
   while (true) {
-    if (shutdown_) return;
-    if (in_flight_.empty()) {
-      cv_.wait(lock, [&] { return shutdown_ || !in_flight_.empty(); });
+    if (sh.stopping) return;
+    if (sh.in_flight.empty()) {
+      sh.cv.wait(lock, [&] { return sh.stopping || !sh.in_flight.empty(); });
       continue;
     }
-    const auto deadline = in_flight_.top().deliver_at;
-    if (std::chrono::steady_clock::now() < deadline) {
-      cv_.wait_until(lock, deadline,
-                     [&] { return shutdown_ ||
-                                  (!in_flight_.empty() &&
-                                   in_flight_.top().deliver_at < deadline); });
+    const auto deadline = sh.in_flight.top().deliver_at;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < deadline) {
+      sh.cv.wait_until(lock, deadline,
+                       [&] { return sh.stopping ||
+                                    (!sh.in_flight.empty() &&
+                                     sh.in_flight.top().deliver_at <
+                                         deadline); });
       continue;
     }
-    // Deadline reached: deliver (or drop) the packet outside the lock so a
-    // full inbox never stalls the whole fabric.
-    Packet p = std::move(const_cast<InFlight&>(in_flight_.top()).packet);
-    in_flight_.pop();
-    const int src = p.src;
-    const int dst_id = p.dst;
-    const std::uint16_t kind = p.kind;
-    Endpoint& dst = *eps_[static_cast<std::size_t>(dst_id)];
-    if (dst.alive()) {
-      ++stats_.packets_delivered;
-      lock.unlock();
-      dst.inbox_.push(std::move(p));
-      // Delivery-keyed chaos triggers fire after the packet reached the
-      // inbox: "kill on the Kth delivery" means the Kth packet arrived and
-      // then the endpoint died (losing whatever was still queued).
-      if (FaultSchedule* chaos = chaos_.load(std::memory_order_acquire)) {
-        chaos->on_deliver(src, dst_id, kind);
+    // Batch drain: pop every deadline-expired packet in one critical
+    // section, then deliver the whole batch outside the lock so a slow or
+    // full inbox never stalls senders targeting this shard.
+    batch.clear();
+    while (!sh.in_flight.empty() && sh.in_flight.top().deliver_at <= now) {
+      batch.push_back(std::move(const_cast<InFlight&>(sh.in_flight.top())
+                                    .packet));
+      sh.in_flight.pop();
+    }
+    lock.unlock();
+    // The drop-accounting invariant rides on the inbox push result: only
+    // packets the inbox actually accepted count as delivered — a kill()
+    // racing this delivery poisons the inbox and the packet books under
+    // packets_dropped_dead instead of vanishing behind a stale alive()
+    // read.
+    FabricStats delta;
+    FaultSchedule* chaos = chaos_.load(std::memory_order_acquire);
+    if (chaos) {
+      // Chaos pins delivery to per-packet granularity: a "kill on the Kth
+      // delivery" trigger must poison the inbox before packet K+1 lands,
+      // so the victim can never consume past the kill point.  The handler
+      // runs with no shard lock held — it may re-enter kill(), revive(),
+      // or stats().
+      for (Packet& p : batch) {
+        const int src = p.src;
+        const int dst_id = p.dst;
+        const std::uint16_t kind = p.kind;
+        Endpoint& dst = *eps_[static_cast<std::size_t>(dst_id)];
+        if (dst.alive() && dst.inbox_.push(std::move(p))) {
+          ++delta.packets_delivered;
+          chaos->on_deliver(src, dst_id, kind);
+        } else {
+          ++delta.packets_dropped_dead;
+        }
       }
-      lock.lock();
     } else {
-      ++stats_.packets_dropped_dead;
+      // Fast path: consecutive packets for the same destination land with
+      // one inbox lock/notify (push_batch).  A batch is accepted whole or
+      // dropped whole — push_batch is atomic against poisoning.
+      std::size_t i = 0;
+      while (i < batch.size()) {
+        const int dst_id = batch[i].dst;
+        std::size_t j = i + 1;
+        while (j < batch.size() && batch[j].dst == dst_id) ++j;
+        Endpoint& dst = *eps_[static_cast<std::size_t>(dst_id)];
+        std::size_t accepted = 0;
+        if (dst.alive()) {
+          if (j - i == 1) {
+            accepted = dst.inbox_.push(std::move(batch[i])) ? 1 : 0;
+          } else {
+            std::vector<Packet> run;
+            run.reserve(j - i);
+            for (std::size_t k = i; k < j; ++k) {
+              run.push_back(std::move(batch[k]));
+            }
+            accepted = dst.inbox_.push_batch(std::move(run));
+          }
+        }
+        delta.packets_delivered += accepted;
+        delta.packets_dropped_dead += (j - i) - accepted;
+        i = j;
+      }
     }
+    lock.lock();
+    sh.stats.packets_delivered += delta.packets_delivered;
+    sh.stats.packets_dropped_dead += delta.packets_dropped_dead;
   }
 }
 

@@ -2,12 +2,17 @@
 //
 // A Fabric owns N endpoints (one per rank, plus auxiliary endpoints such as
 // TEL's stable-storage event logger).  `send` stamps the packet with a
-// delivery deadline drawn from the latency model and hands it to a single
-// scheduler thread, which moves packets into destination inboxes when their
-// deadline passes.  Because channels share the scheduler but draw independent
-// jitter, packets on different channels are frequently reordered relative to
-// their send order — the source of non-deterministic arrival the protocols
-// under study must cope with.
+// delivery deadline drawn from the latency model and hands it to one of
+// `num_shards` scheduler threads — packets are sharded by destination
+// (`dst % num_shards`), so every packet for one endpoint flows through one
+// shard and per-channel FIFO is structural.  Each shard owns its own mutex,
+// condition variable, in-flight priority queue, RNG stream, and stats slab;
+// `stats()` merges the slabs on read.  Because channels share a shard's
+// scheduler but draw independent jitter, packets on different channels are
+// frequently reordered relative to their send order — the source of
+// non-deterministic arrival the protocols under study must cope with.
+// `num_shards == 1` reproduces the single-scheduler global delivery order
+// exactly (the deterministic-test mode).
 //
 // Fault plane: `kill(ep)` marks an endpoint dead and discards its queued
 // inbox (a crashed node loses volatile state); in-flight packets that reach a
@@ -15,6 +20,14 @@
 // for the rank's incarnation.  Recovery-time retransmission is the job of the
 // layers above — the fabric itself is a lossy-when-dead, reordering,
 // otherwise reliable network.
+//
+// Drop accounting invariant (asserted by tests/test_fabric.cc): on a
+// quiescent, non-shut-down fabric,
+//   packets_sent == packets_delivered + packets_dropped_dead
+//                                     + packets_dropped_chaos.
+// A packet counts as delivered only when the inbox push actually succeeded —
+// a concurrent kill() that poisons the inbox between the liveness check and
+// the push books the packet under packets_dropped_dead, never both.
 //
 // An optional FaultSchedule (chaos.h) extends the fault plane with scripted,
 // event-keyed triggers: every send and every completed delivery is matched
@@ -55,14 +68,27 @@ class Endpoint {
 struct FabricStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_delivered = 0;
-  std::uint64_t packets_dropped_dead = 0;  // destination dead at delivery time
-  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_dropped_dead = 0;   // destination dead at delivery
+  std::uint64_t packets_dropped_chaos = 0;  // sender killed mid-send (chaos)
+  std::uint64_t bytes_sent = 0;  // wire bytes; chaos-dropped sends excluded
+
+  void merge(const FabricStats& other) {
+    packets_sent += other.packets_sent;
+    packets_delivered += other.packets_delivered;
+    packets_dropped_dead += other.packets_dropped_dead;
+    packets_dropped_chaos += other.packets_dropped_chaos;
+    bytes_sent += other.bytes_sent;
+  }
 };
 
 class Fabric {
  public:
   /// `endpoints` includes any auxiliary endpoints (e.g. the TEL logger).
-  Fabric(int endpoints, LatencyModel model, std::uint64_t seed);
+  /// `num_shards` scheduler threads split the endpoints by `dst %
+  /// num_shards`; 0 resolves the default — the WINDAR_FABRIC_SHARDS
+  /// environment variable if set, else min(4, hardware_concurrency).
+  Fabric(int endpoints, LatencyModel model, std::uint64_t seed,
+         int num_shards = 0);
   ~Fabric();
 
   Fabric(const Fabric&) = delete;
@@ -70,6 +96,13 @@ class Fabric {
 
   int endpoint_count() const { return static_cast<int>(eps_.size()); }
   Endpoint& endpoint(EndpointId id);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// Default shard count when the constructor gets `num_shards == 0`:
+  /// WINDAR_FABRIC_SHARDS if set and positive, else
+  /// min(4, hardware_concurrency).
+  static int default_shards();
 
   /// Enqueues a packet for delayed delivery.  Thread-safe.  Packets sent to
   /// dead endpoints still travel and are dropped on arrival, modelling
@@ -89,9 +122,10 @@ class Fabric {
     chaos_.store(chaos, std::memory_order_release);
   }
 
-  /// Stops the scheduler; undelivered packets are discarded.  Idempotent.
+  /// Stops the schedulers; undelivered packets are discarded.  Idempotent.
   void shutdown();
 
+  /// Merged view of the per-shard stats slabs.
   FabricStats stats() const;
 
  private:
@@ -107,21 +141,30 @@ class Fabric {
     }
   };
 
-  void scheduler_loop();
+  // One scheduler's world: everything a shard touches per packet lives on
+  // its own cache lines so shards never contend except in stats().
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::priority_queue<InFlight, std::vector<InFlight>, Later> in_flight;
+    util::Rng rng;          // independent jitter stream, guarded by mu
+    FabricStats stats;      // slab merged by Fabric::stats()
+    bool stopping = false;  // guarded by mu
+    std::thread thread;
+  };
+
+  Shard& shard_for(EndpointId dst) {
+    return *shards_[static_cast<std::size_t>(dst) % shards_.size()];
+  }
+
+  void scheduler_loop(Shard& shard);
 
   LatencyModel model_;
   std::vector<std::unique_ptr<Endpoint>> eps_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<FaultSchedule*> chaos_{nullptr};
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<InFlight, std::vector<InFlight>, Later> in_flight_;
-  util::Rng rng_;
-  std::uint64_t next_order_ = 0;
-  bool shutdown_ = false;
-  FabricStats stats_;
-
-  std::thread scheduler_;
+  std::atomic<std::uint64_t> next_order_{0};
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace windar::net

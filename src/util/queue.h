@@ -12,6 +12,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace windar::util {
 
@@ -21,14 +22,37 @@ class BlockingQueue {
   using Clock = std::chrono::steady_clock;
 
   /// Pushes an item; wakes one waiter.  Pushing to a poisoned queue drops the
-  /// item (the consumer is gone by definition).
-  void push(T item) {
+  /// item (the consumer is gone by definition) and returns false, so callers
+  /// that must not lose work silently can account for the drop.
+  [[nodiscard]] bool push(T item) {
     {
       std::scoped_lock lock(mu_);
-      if (poisoned_) return;
+      if (poisoned_) return false;
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
+    return true;
+  }
+
+  /// Pushes every item in `batch` in order under one lock acquisition with
+  /// one wakeup (notify_all when more than one item lands, so several
+  /// blocked consumers can drain the batch in parallel).  Atomic against
+  /// poisoning: the batch is accepted whole or dropped whole — returns the
+  /// number of items accepted, which is `batch.size()` or 0.
+  [[nodiscard]] std::size_t push_batch(std::vector<T> batch) {
+    if (batch.empty()) return 0;
+    const std::size_t n = batch.size();
+    {
+      std::scoped_lock lock(mu_);
+      if (poisoned_) return 0;
+      for (T& item : batch) items_.push_back(std::move(item));
+    }
+    if (n == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+    return n;
   }
 
   /// Blocks until an item is available or the queue is poisoned.

@@ -41,7 +41,8 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
                            config.protocol == ProtocolKind::kPes;
   const int endpoints = config.n + (uses_logger ? 1 : 0);
 
-  net::Fabric fabric(endpoints, config.latency, config.seed);
+  net::Fabric fabric(endpoints, config.latency, config.seed,
+                     config.fabric_shards);
   CheckpointStore store(config.checkpoint_spill_dir);
   std::unique_ptr<EventLogger> logger;
   if (uses_logger) {

@@ -43,6 +43,10 @@ struct JobConfig {
   SendMode mode = SendMode::kNonBlocking;
   net::LatencyModel latency{};
   std::uint64_t seed = 1;
+  // Fabric scheduler shards (dst % shards).  0 resolves the default:
+  // WINDAR_FABRIC_SHARDS if set, else min(4, hardware_concurrency).  Use 1
+  // for tests that need the single-scheduler global delivery order.
+  int fabric_shards = 0;
   std::vector<FaultEvent> faults;
   // Event-keyed fault schedule (see fault.h helpers: kill_on_delivery,
   // kill_on_send, duplicate_on_send, delay_on_send).  Kill events whose

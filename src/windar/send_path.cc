@@ -44,7 +44,16 @@ void SendPath::poison() { queue_a_.poison(); }
 
 void SendPath::transmit(net::Packet p) {
   if (params_.mode == SendMode::kNonBlocking && params_.sender_thread) {
-    queue_a_.push(std::move(p));
+    if (!queue_a_.push(std::move(p))) {
+      // Queue A only rejects when it was poisoned, i.e. this rank is being
+      // torn down.  The send is lost with the incarnation — surface the
+      // teardown to the app thread now (Killed unwinds into recovery,
+      // JobAborted into job teardown) instead of letting it run on as if
+      // the message had left.  On a clean stop() the app function has
+      // already returned, so neither flag is set and there is no caller to
+      // unwind.
+      life_.throw_if_dead();
+    }
   } else {
     fabric_.send(std::move(p));
   }

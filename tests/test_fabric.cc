@@ -1,9 +1,13 @@
 // Tests for the simulated interconnect: delivery, latency ordering, the
-// fault plane, and statistics.
+// fault plane, sharded scheduling, statistics, and the drop-accounting
+// invariant  packets_sent == packets_delivered + packets_dropped_dead +
+// packets_dropped_chaos.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "net/fabric.h"
 
@@ -19,6 +23,24 @@ Packet make(int src, int dst, std::uint64_t seq, std::size_t payload = 0) {
   p.seq = seq;
   p.payload = util::Buffer(util::Bytes(payload, 0));
   return p;
+}
+
+// Waits for the fabric to quiesce (every sent packet accounted for) and
+// returns the stats at that point.  The invariant only holds once nothing is
+// in flight — a transient sent > delivered + dropped is expected while a
+// shard is mid-drain, since delivery happens outside the shard lock and the
+// stats delta is booked after the batch lands.
+FabricStats quiesced_stats(Fabric& f) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const FabricStats s = f.stats();
+    if (s.packets_sent == s.packets_delivered + s.packets_dropped_dead +
+                              s.packets_dropped_chaos) {
+      return s;
+    }
+    std::this_thread::sleep_for(200us);
+  }
+  return f.stats();
 }
 
 TEST(Fabric, DeliversPacket) {
@@ -81,7 +103,7 @@ TEST(Fabric, KillDropsQueuedAndInFlight) {
   std::this_thread::sleep_for(20ms);
   EXPECT_TRUE(f.endpoint(1).inbox().poisoned());
   EXPECT_FALSE(f.endpoint(1).alive());
-  auto stats = f.stats();
+  auto stats = quiesced_stats(f);
   EXPECT_GE(stats.packets_dropped_dead, 1u);
 }
 
@@ -103,7 +125,9 @@ TEST(Fabric, StatsCountTraffic) {
   f.send(make(0, 2, 1, 100));
   (void)f.endpoint(1).inbox().pop();
   (void)f.endpoint(2).inbox().pop();
-  auto stats = f.stats();
+  // pop() returns as soon as the push lands, which can be before the shard
+  // books its stats delta — poll until the accounting catches up.
+  auto stats = quiesced_stats(f);
   EXPECT_EQ(stats.packets_sent, 2u);
   EXPECT_EQ(stats.packets_delivered, 2u);
   EXPECT_GT(stats.bytes_sent, 200u);
@@ -126,6 +150,148 @@ TEST(Fabric, WireSizeIncludesHeaderAndSections) {
   Packet p = make(0, 1, 1, 10);
   p.meta = util::Buffer(util::Bytes(6, 0));
   EXPECT_EQ(p.wire_size(), 30u + 16u);
+}
+
+// --- Sharded scheduling -----------------------------------------------------
+
+TEST(Fabric, ExplicitShardCountClampsToEndpoints) {
+  Fabric f(2, LatencyModel::deterministic(), 1, 8);
+  EXPECT_EQ(f.shard_count(), 2);
+  Fabric g(8, LatencyModel::deterministic(), 1, 3);
+  EXPECT_EQ(g.shard_count(), 3);
+}
+
+TEST(Fabric, ShardedFabricPreservesPerChannelFifo) {
+  // All packets for one destination flow through one shard (dst % shards),
+  // so zero-jitter same-size streams arrive in send order on every channel
+  // even with the maximum shard spread.
+  constexpr int kEndpoints = 5;
+  Fabric f(kEndpoints, LatencyModel::deterministic(), 1, kEndpoints);
+  ASSERT_EQ(f.shard_count(), kEndpoints);
+  constexpr std::uint64_t kN = 40;
+  for (std::uint64_t i = 1; i <= kN; ++i) {
+    for (int dst = 1; dst < kEndpoints; ++dst) f.send(make(0, dst, i));
+  }
+  for (int dst = 1; dst < kEndpoints; ++dst) {
+    for (std::uint64_t i = 1; i <= kN; ++i) {
+      auto p = f.endpoint(dst).inbox().pop();
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(p->seq, i) << "channel 0->" << dst;
+    }
+  }
+}
+
+TEST(Fabric, StatsMergeAcrossShards) {
+  Fabric f(4, LatencyModel::deterministic(), 1, 4);
+  constexpr int kPerDst = 25;
+  for (int dst = 0; dst < 4; ++dst) {
+    for (int i = 0; i < kPerDst; ++i) {
+      f.send(make((dst + 1) % 4, dst, static_cast<std::uint64_t>(i), 32));
+    }
+  }
+  const FabricStats s = quiesced_stats(f);
+  EXPECT_EQ(s.packets_sent, 4u * kPerDst);
+  EXPECT_EQ(s.packets_delivered, 4u * kPerDst);
+  EXPECT_EQ(s.packets_dropped_dead, 0u);
+  EXPECT_EQ(s.packets_dropped_chaos, 0u);
+}
+
+TEST(Fabric, ChaosSenderKillBooksUnderChaosCounter) {
+  // A chaos kill fired by the victim's own send drops the triggering packet:
+  // it must land in packets_dropped_chaos, not pollute the dead-destination
+  // signal, and still count as sent so the accounting invariant closes.
+  Fabric f(2, LatencyModel::deterministic(), 1, 1);
+  FaultSchedule chaos;
+  ChaosEvent ev;
+  ev.when = ChaosEvent::When::kSend;
+  ev.action = ChaosEvent::Action::kKill;
+  ev.endpoint = 0;
+  ev.nth = 3;
+  chaos.set_kill_handler([&](const ChaosEvent& fired) {
+    f.kill(fired.target);
+  });
+  chaos.add(ev);
+  f.set_chaos(&chaos);
+  for (std::uint64_t i = 1; i <= 5; ++i) f.send(make(0, 1, i));
+  const FabricStats s = quiesced_stats(f);
+  EXPECT_EQ(s.packets_sent, 5u);
+  EXPECT_EQ(s.packets_dropped_chaos, 1u);  // the 3rd send died mid-send
+  EXPECT_EQ(s.packets_dropped_dead, 0u);   // endpoint 1 stayed alive
+  EXPECT_EQ(s.packets_delivered, 4u);
+  EXPECT_FALSE(f.endpoint(0).alive());
+}
+
+TEST(Fabric, KillDuringDeliveryStormAccountsEveryPacket) {
+  // The lost-delivery miscount regression: a packet must never be counted
+  // delivered and then vanish into a just-poisoned inbox.  Hammer endpoint 1
+  // with concurrent senders while killing/reviving it, on every shard layout,
+  // and require the accounting to close EXACTLY.
+  for (const int shards : {1, 2, 4}) {
+    constexpr int kSenders = 4;
+    constexpr int kPerSender = 2000;
+    Fabric f(kSenders + 1,
+             LatencyModel::deterministic(std::chrono::nanoseconds(200),
+                                         std::chrono::nanoseconds(0)),
+             7, shards);
+    std::atomic<bool> stop{false};
+    std::thread chaos_monkey([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        f.kill(1);
+        std::this_thread::sleep_for(50us);
+        f.revive(1);
+        std::this_thread::sleep_for(150us);
+      }
+      f.revive(1);
+    });
+    std::thread drainer([&] {
+      // Keep the victim's inbox from growing without bound; pop_until also
+      // tolerates the poison windows.
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)f.endpoint(1).inbox().pop_until(
+            std::chrono::steady_clock::now() + 1ms);
+      }
+    });
+    std::vector<std::thread> senders;
+    for (int s = 0; s < kSenders; ++s) {
+      senders.emplace_back([&, s] {
+        for (int i = 0; i < kPerSender; ++i) {
+          f.send(make(s + (s >= 1 ? 1 : 0), 1, static_cast<std::uint64_t>(i)));
+        }
+      });
+    }
+    for (auto& t : senders) t.join();
+    // Phase 1 (racy): the kill/revive storm ran concurrently with delivery.
+    // Whatever split the race produced, the accounting must close EXACTLY —
+    // no packet both counted delivered and swallowed by a poisoned inbox.
+    const FabricStats storm = quiesced_stats(f);
+    stop.store(true, std::memory_order_release);
+    chaos_monkey.join();
+    drainer.join();
+    EXPECT_EQ(storm.packets_sent,
+              static_cast<std::uint64_t>(kSenders) * kPerSender)
+        << "shards=" << shards;
+    EXPECT_EQ(storm.packets_sent,
+              storm.packets_delivered + storm.packets_dropped_dead +
+                  storm.packets_dropped_chaos)
+        << "shards=" << shards;
+    // Phase 2 (deterministic): with the endpoint held dead for a whole
+    // burst, every one of those packets must book under dropped_dead.
+    f.kill(1);
+    constexpr int kDeadBurst = 500;
+    for (int i = 0; i < kDeadBurst; ++i) {
+      f.send(make(0, 1, static_cast<std::uint64_t>(i)));
+    }
+    const FabricStats dead = quiesced_stats(f);
+    EXPECT_EQ(dead.packets_dropped_dead,
+              storm.packets_dropped_dead + kDeadBurst)
+        << "shards=" << shards;
+    EXPECT_EQ(dead.packets_delivered, storm.packets_delivered)
+        << "shards=" << shards;
+    EXPECT_EQ(dead.packets_sent,
+              dead.packets_delivered + dead.packets_dropped_dead +
+                  dead.packets_dropped_chaos)
+        << "shards=" << shards;
+  }
 }
 
 }  // namespace

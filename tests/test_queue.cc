@@ -1,8 +1,10 @@
 // Unit tests for the blocking queue used by endpoint inboxes and send paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "util/queue.h"
 
@@ -13,9 +15,9 @@ using namespace std::chrono_literals;
 
 TEST(BlockingQueue, FifoOrder) {
   BlockingQueue<int> q;
-  q.push(1);
-  q.push(2);
-  q.push(3);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
   EXPECT_EQ(q.pop(), 1);
   EXPECT_EQ(q.pop(), 2);
   EXPECT_EQ(q.pop(), 3);
@@ -24,7 +26,7 @@ TEST(BlockingQueue, FifoOrder) {
 TEST(BlockingQueue, TryPopEmpty) {
   BlockingQueue<int> q;
   EXPECT_FALSE(q.try_pop().has_value());
-  q.push(5);
+  EXPECT_TRUE(q.push(5));
   EXPECT_EQ(q.try_pop(), 5);
   EXPECT_FALSE(q.try_pop().has_value());
 }
@@ -41,7 +43,7 @@ TEST(BlockingQueue, PopWakesOnPush) {
   BlockingQueue<int> q;
   std::thread producer([&] {
     std::this_thread::sleep_for(10ms);
-    q.push(42);
+    ASSERT_TRUE(q.push(42));
   });
   EXPECT_EQ(q.pop(), 42);
   producer.join();
@@ -60,8 +62,8 @@ TEST(BlockingQueue, PoisonWakesWaiter) {
 
 TEST(BlockingQueue, PoisonDropsQueuedItems) {
   BlockingQueue<int> q;
-  q.push(1);
-  q.push(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
   q.poison();
   EXPECT_FALSE(q.pop().has_value());
   EXPECT_EQ(q.size(), 0u);
@@ -70,7 +72,7 @@ TEST(BlockingQueue, PoisonDropsQueuedItems) {
 TEST(BlockingQueue, PushAfterPoisonIsDropped) {
   BlockingQueue<int> q;
   q.poison();
-  q.push(7);
+  EXPECT_FALSE(q.push(7));
   EXPECT_EQ(q.size(), 0u);
 }
 
@@ -79,7 +81,7 @@ TEST(BlockingQueue, ReviveRearms) {
   q.poison();
   q.revive();
   EXPECT_FALSE(q.poisoned());
-  q.push(9);
+  EXPECT_TRUE(q.push(9));
   EXPECT_EQ(q.pop(), 9);
 }
 
@@ -90,7 +92,9 @@ TEST(BlockingQueue, ManyProducersOneConsumer) {
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&q, p] {
-      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
     });
   }
   long long sum = 0;
@@ -106,10 +110,76 @@ TEST(BlockingQueue, ManyProducersOneConsumer) {
 
 TEST(BlockingQueue, MoveOnlyPayload) {
   BlockingQueue<std::unique_ptr<int>> q;
-  q.push(std::make_unique<int>(11));
+  ASSERT_TRUE(q.push(std::make_unique<int>(11)));
   auto v = q.pop();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 11);
+}
+
+TEST(BlockingQueue, PushBatchKeepsOrderAndInterleavesWithPush) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.push_batch({1, 2, 3}), 3u);
+  ASSERT_TRUE(q.push(4));
+  EXPECT_EQ(q.push_batch({5, 6}), 2u);
+  for (int want = 1; want <= 6; ++want) EXPECT_EQ(q.pop(), want);
+}
+
+TEST(BlockingQueue, PushBatchEmptyIsNoop) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.push_batch({}), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BlockingQueue, PushBatchToPoisonedQueueDropsWhole) {
+  BlockingQueue<int> q;
+  q.poison();
+  EXPECT_EQ(q.push_batch({1, 2, 3}), 0u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueue, PushBatchWakesAllWaiters) {
+  BlockingQueue<int> q;
+  constexpr int kWaiters = 3;
+  std::atomic<int> got{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      if (q.pop().has_value()) got.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(q.push_batch({10, 11, 12}), 3u);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(got.load(), kWaiters);
+}
+
+TEST(BlockingQueue, PushBatchAtomicAgainstConcurrentPoison) {
+  // A batch is accepted whole or dropped whole: whatever instant the poison
+  // lands, every push_batch return is either 0 or the full batch size, and
+  // the consumer sees batches as contiguous runs (never a torn prefix).
+  constexpr int kBatch = 10;
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    BlockingQueue<int> q;
+    std::atomic<std::size_t> accepted{0};
+    std::thread producer([&] {
+      int next = 0;
+      while (true) {
+        std::vector<int> batch;
+        for (int i = 0; i < kBatch; ++i) batch.push_back(next + i);
+        const std::size_t n = q.push_batch(std::move(batch));
+        ASSERT_TRUE(n == 0 || n == kBatch);
+        if (n == 0) return;  // poisoned
+        accepted.fetch_add(n);
+        next += kBatch;
+      }
+    });
+    // Poison at an arbitrary point in the producer's stream.
+    std::this_thread::sleep_for(std::chrono::microseconds(round % 50));
+    q.poison();
+    producer.join();
+    EXPECT_EQ(accepted.load() % kBatch, 0u);
+  }
 }
 
 }  // namespace
