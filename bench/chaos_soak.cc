@@ -3,12 +3,20 @@
 // the failure-free digest.
 //
 //   chaos_soak [--schedules=50] [--seed0=1000] [--protocols=tdi,tag,tel]
-//              [--replay=SEED] [--timeout-ms=30000]
+//              [--replay=SEED] [--timeout-ms=30000] [--transport=sim|socket]
 //
 // Every schedule is a pure function of its seed (windar::ft::make_chaos_plan),
 // so a failure is replayed from the printed seed alone:
 //
 //   chaos_soak --replay=1017
+//
+// --transport=socket runs every faulty schedule as real OS processes over
+// Unix-domain sockets: chaos kills become actual SIGKILLs and recovery is
+// driven by respawned incarnations restoring from disk checkpoints
+// (windar/launcher.h).  The clean baseline digest is computed in-process —
+// the ring digest is a pure function of the delivered values, identical
+// across transports — so convergence still certifies exactly-once ordered
+// delivery.  (The binary re-execs itself as the per-rank worker.)
 //
 // A per-run watchdog flags hangs: if one (plan, protocol) run exceeds
 // --timeout-ms the driver prints "FAIL seed=... (hang)" and exits nonzero,
@@ -20,8 +28,10 @@
 #include <string>
 #include <vector>
 
+#include "net/transport.h"
 #include "tests/chaos_app.h"
 #include "util/clock.h"
+#include "windar/launcher.h"
 
 namespace {
 
@@ -36,6 +46,7 @@ struct Options {
                                          ProtocolKind::kTel};
   std::uint64_t replay = 0;  // 0: sweep mode
   double timeout_ms = 30000;
+  net::TransportKind transport = net::default_transport();
 };
 
 ProtocolKind parse_protocol(const std::string& s) {
@@ -63,6 +74,12 @@ Options parse_args(int argc, char** argv) {
       opt.replay = std::strtoull(value("--replay="), nullptr, 10);
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       opt.timeout_ms = std::atof(value("--timeout-ms="));
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      if (!net::parse_transport(value("--transport="), &opt.transport)) {
+        std::fprintf(stderr, "unknown transport '%s'\n",
+                     value("--transport="));
+        std::exit(2);
+      }
     } else if (arg.rfind("--protocols=", 0) == 0) {
       opt.protocols.clear();
       std::string list = value("--protocols=");
@@ -130,12 +147,43 @@ struct Tally {
   std::uint64_t rollback_broadcasts = 0;
 };
 
+// Socket-mode worker entry: the launcher re-execs this binary with
+// --windar-* flags plus our own --iters/--ckpt app arguments.
+int soak_worker_main(int argc, char** argv) {
+  const WorkerConfig cfg = WorkerConfig::parse(argc, argv);
+  int iters = 30;
+  int ckpt = 5;
+  for (const std::string& a : cfg.app_args) {
+    if (a.rfind("--iters=", 0) == 0) iters = std::atoi(a.c_str() + 8);
+    if (a.rfind("--ckpt=", 0) == 0) ckpt = std::atoi(a.c_str() + 7);
+  }
+  return run_worker(cfg, [iters, ckpt](Ctx& ctx) {
+    return ft::chaos::ring_digest_rank(ctx, iters, ckpt);
+  });
+}
+
+// One faulty schedule as real processes with real SIGKILLs.
+MultiProcResult run_plan_multiproc(const ChaosPlan& plan, ProtocolKind proto,
+                                   double timeout_ms) {
+  LaunchSpec spec;
+  spec.job = ft::chaos::plan_config(plan, proto, /*with_faults=*/true);
+  spec.worker_args = {"--iters=" + std::to_string(plan.iterations),
+                      "--ckpt=" + std::to_string(plan.checkpoint_every)};
+  spec.timeout_ms = timeout_ms;
+  spec.verbose = std::getenv("WINDAR_LAUNCH_VERBOSE") != nullptr;
+  return run_multiproc_job(spec);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (WorkerConfig::is_worker_invocation(argc, argv)) {
+    return soak_worker_main(argc, argv);
+  }
   const Options opt = parse_args(argc, argv);
   const bool replay = opt.replay != 0;
-  Watchdog watchdog(opt.timeout_ms);
+  const bool socket = opt.transport == net::TransportKind::kSocket;
+  Watchdog watchdog(opt.timeout_ms * (socket ? 2 : 1));
 
   int failures = 0;
   std::printf("%-10s %-6s %-9s %-9s %-9s %-8s %s\n", "protocol", "runs",
@@ -148,28 +196,55 @@ int main(int argc, char** argv) {
       const ChaosPlan plan = make_chaos_plan(seed);
       if (replay) std::printf("replaying %s\n", plan.describe().c_str());
       watchdog.arm(seed, pname.c_str());
+      // The clean baseline is always computed in-process: the digest is a
+      // pure function of the delivered values, identical on either backend,
+      // and the simulated run is far cheaper than n fault-free processes.
       const auto clean = ft::chaos::run_plan(plan, proto, false);
-      const auto faulty = ft::chaos::run_plan(plan, proto, true);
+      std::uint64_t faulty_digest = 0;
+      std::uint64_t triggers = 0;
+      std::uint64_t recoveries = 0;
+      std::uint64_t rollback_broadcasts = 0;
+      bool run_ok = true;
+      std::string run_error;
+      if (socket) {
+        const auto faulty = run_plan_multiproc(plan, proto, opt.timeout_ms);
+        faulty_digest = faulty.digest;
+        triggers = faulty.chaos_triggers_fired;
+        recoveries = faulty.recoveries;
+        run_ok = faulty.ok;
+        run_error = faulty.error;
+      } else {
+        const auto faulty = ft::chaos::run_plan(plan, proto, true);
+        faulty_digest = faulty.digest;
+        triggers = faulty.result.chaos_triggers_fired;
+        recoveries = faulty.result.total.recoveries;
+        rollback_broadcasts = faulty.result.total.rollback_broadcasts;
+      }
       watchdog.disarm();
       ++tally.runs;
-      tally.triggers += faulty.result.chaos_triggers_fired;
-      tally.recoveries += faulty.result.total.recoveries;
-      tally.rollback_broadcasts += faulty.result.total.rollback_broadcasts;
-      if (clean.digest != faulty.digest) {
+      tally.triggers += triggers;
+      tally.recoveries += recoveries;
+      tally.rollback_broadcasts += rollback_broadcasts;
+      if (!run_ok || clean.digest != faulty_digest) {
         ++tally.divergences;
         ++failures;
-        std::printf("FAIL seed=%llu proto=%s (digest %llu != clean %llu)\n",
-                    static_cast<unsigned long long>(seed), pname.c_str(),
-                    static_cast<unsigned long long>(faulty.digest),
-                    static_cast<unsigned long long>(clean.digest));
+        if (!run_ok) {
+          std::printf("FAIL seed=%llu proto=%s (%s)\n",
+                      static_cast<unsigned long long>(seed), pname.c_str(),
+                      run_error.c_str());
+        } else {
+          std::printf(
+              "FAIL seed=%llu proto=%s (digest %llu != clean %llu)\n",
+              static_cast<unsigned long long>(seed), pname.c_str(),
+              static_cast<unsigned long long>(faulty_digest),
+              static_cast<unsigned long long>(clean.digest));
+        }
         std::printf("  plan: %s\n", plan.describe().c_str());
       } else if (replay) {
         std::printf("OK seed=%llu proto=%s triggers=%llu recov=%llu\n",
                     static_cast<unsigned long long>(seed), pname.c_str(),
-                    static_cast<unsigned long long>(
-                        faulty.result.chaos_triggers_fired),
-                    static_cast<unsigned long long>(
-                        faulty.result.total.recoveries));
+                    static_cast<unsigned long long>(triggers),
+                    static_cast<unsigned long long>(recoveries));
       }
     }
     std::printf("%-10s %-6d %-9d %-9llu %-9llu %-8llu %s\n", pname.c_str(),

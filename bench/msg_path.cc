@@ -12,9 +12,19 @@
 //   ./msg_path [--sizes=64,4096,65536] [--msgs=0] [--protocol=TDI]
 //              [--ranks=2] [--shards=0] [--csv]
 //   ./msg_path --contend [--ranks=8] [--sizes=4096] [--shards=1,4]
+//   ./msg_path --transport=socket [--ranks=2] [--sizes=64,4096,65536]
 //
 // --msgs=0 picks a per-size count targeting ~32 MB of payload per run.
 // --shards selects the fabric scheduler shard count (0: default).
+//
+// --transport=socket is the A8 experiment: the same pairwise streams pushed
+// through net::SocketTransport (real AF_UNIX sockets, length-prefixed
+// frames) with every endpoint hosted in this process so the global alloc
+// counter sees both sides of the wire.  The zero-copy claim is the
+// "alloc/payload" column: the sender writes the shared payload buffer
+// straight into sendmsg scatter-gather, so steady-state heap traffic is the
+// receiver's single reassembly block — about 1.0 payloads worth of
+// allocation per message, not the 2-3x a copying send path would show.
 //
 // --contend is the interconnect-scalability scenario: ranks/2 concurrent
 // pairwise streams hammer the fabric through the raw transport (no
@@ -24,10 +34,15 @@
 // overhead measurements end up measuring.
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <new>
+#include <thread>
 
 #include "bench/common.h"
 #include "mp/runtime.h"
+#include "net/socket_transport.h"
+#include "net/transport.h"
 #include "util/clock.h"
 
 namespace {
@@ -120,6 +135,83 @@ void run_contention(int ranks, const std::vector<int>& sizes,
   if (csv) std::fputs(table.csv().c_str(), stdout);
 }
 
+// A8: pairwise streams over the real socket transport.  All endpoints live
+// in this process (the loopback mesh from tests/test_transport.cc) so the
+// counting operator new observes the full path: send -> per-peer writer ->
+// sendmsg -> poll/read -> frame reassembly -> inbox pop.  One immutable
+// payload buffer is shared by every send; whatever the wire adds per
+// message shows up as allocs.
+void run_socket(int ranks, const std::vector<int>& sizes, int msgs_opt,
+                bool csv) {
+  WINDAR_CHECK(ranks >= 2 && ranks % 2 == 0) << "--ranks must be even";
+  util::Table table({"payload B", "msgs", "wall ms", "msgs/s", "MB/s",
+                     "allocs/msg", "alloc B/msg", "alloc/payload"});
+  for (int size : sizes) {
+    const int half = ranks / 2;
+    const int msgs =
+        msgs_opt > 0
+            ? msgs_opt
+            : std::max(2000, static_cast<int>((32u << 20) /
+                                              static_cast<unsigned>(size) /
+                                              static_cast<unsigned>(half)));
+    char tmpl[] = "/tmp/windar_msgpath_XXXXXX";
+    const std::string dir = ::mkdtemp(tmpl);
+    std::vector<std::unique_ptr<net::SocketTransport>> nodes;
+    for (int i = 0; i < ranks; ++i) {
+      net::SocketTransportOptions o;
+      o.endpoints = ranks;
+      o.self = i;
+      o.dir = dir;
+      nodes.push_back(std::make_unique<net::SocketTransport>(o));
+    }
+    const util::Buffer payload(util::Bytes(static_cast<std::size_t>(size),
+                                           0x5A));
+
+    const std::uint64_t allocs0 = g_allocs.load();
+    const std::uint64_t bytes0 = g_alloc_bytes.load();
+    const double t0 = util::now_ms();
+    std::vector<std::thread> threads;
+    for (int r = 0; r < half; ++r) {
+      threads.emplace_back([&, r] {
+        for (int i = 0; i < msgs; ++i) {
+          nodes[static_cast<std::size_t>(r)]->send(
+              net::make_packet(r, r + half, 1, 0,
+                               static_cast<std::uint64_t>(i), {}, payload));
+        }
+      });
+      threads.emplace_back([&, r] {
+        auto& inbox =
+            nodes[static_cast<std::size_t>(r + half)]->endpoint(r + half)
+                .inbox();
+        for (int i = 0; i < msgs; ++i) {
+          auto p = inbox.pop();
+          WINDAR_CHECK(p.has_value()) << "inbox poisoned mid-stream";
+          WINDAR_CHECK_EQ(p->payload.size(), payload.size());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_ms = util::now_ms() - t0;
+    const double total = static_cast<double>(msgs) * half;
+    const double allocs_per_msg =
+        static_cast<double>(g_allocs.load() - allocs0) / total;
+    const double alloc_bytes_per_msg =
+        static_cast<double>(g_alloc_bytes.load() - bytes0) / total;
+    const double rate = total / (wall_ms / 1e3);
+    table.row({std::to_string(size),
+               std::to_string(static_cast<long long>(total)), fmt(wall_ms, 1),
+               fmt(rate, 0), fmt(rate * size / 1e6, 1), fmt(allocs_per_msg),
+               fmt(alloc_bytes_per_msg, 0),
+               fmt(alloc_bytes_per_msg / size, 2)});
+    for (auto& t : nodes) t->shutdown();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  table.print("msg_path --transport=socket — AF_UNIX pairwise streams, " +
+              std::to_string(ranks / 2) + " stream(s), both sides counted");
+  if (csv) std::fputs(table.csv().c_str(), stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,9 +231,19 @@ int main(int argc, char** argv) {
   const auto shard_sweep =
       opts.int_list("shard-sweep", {1, 4}, "shard counts for --contend");
   const bool csv = opts.flag("csv", false, "also print CSV");
+  const std::string transport_s = opts.str(
+      "transport", to_string(net::default_transport()),
+      "sim | socket (raw AF_UNIX streams, in-process mesh)");
   opts.finish();
   const ft::ProtocolKind protocol = parse_protocol(proto_s);
+  net::TransportKind transport;
+  WINDAR_CHECK(net::parse_transport(transport_s, &transport))
+      << "unknown transport '" << transport_s << "'";
 
+  if (transport == net::TransportKind::kSocket) {
+    run_socket(ranks, sizes, msgs_opt, csv);
+    return 0;
+  }
   if (contend) {
     run_contention(ranks, sizes, shard_sweep, msgs_opt, csv);
     return 0;

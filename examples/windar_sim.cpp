@@ -9,14 +9,23 @@
 //   ./windar_sim --app=lu --ranks=16 --protocol=tag
 //   ./windar_sim --app=ring --ranks=8 --faults=2@10,3@25 --trace
 //   ./windar_sim --app=bt --mode=blocking --ckpt-every=4 --repeat=3
+//
+// --transport=socket (or WINDAR_TRANSPORT=socket) runs the job as one real
+// OS process per rank over Unix-domain sockets: the binary re-execs itself
+// as each worker, faults become actual SIGKILLs, and recovery restores from
+// disk checkpoints (windar/launcher.h).
+//
+//   ./windar_sim --app=ring --ranks=8 --transport=socket --faults=2@10
 #include <atomic>
 #include <cstdio>
 
 #include "mp/collectives.h"
+#include "net/transport.h"
 #include "npb/driver.h"
 #include "util/options.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "windar/launcher.h"
 #include "windar/runtime.h"
 #include "windar/trace.h"
 
@@ -90,58 +99,151 @@ void alltoall_workload(ft::Ctx& ctx, int rounds, int ckpt_every) {
   }
 }
 
+struct SimOptions {
+  std::string app;
+  int ranks = 8;
+  ft::ProtocolKind protocol = ft::ProtocolKind::kTdi;
+  bool blocking = false;
+  int rounds = 40;
+  int ckpt_every = 8;
+  double scale = 1.0;
+  std::string fault_spec;
+  bool trace = false;
+  bool dump_trace = false;
+  int repeat = 1;
+  std::uint64_t seed = 1;
+  net::TransportKind transport = net::default_transport();
+};
+
+SimOptions parse_sim_options(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  SimOptions o;
+  o.app = opts.str("app", "ring", "lu | bt | sp | ring | alltoall");
+  o.ranks = static_cast<int>(opts.integer("ranks", 8, "process count"));
+  o.protocol = parse_protocol(
+      opts.str("protocol", "tdi", "tdi | tdi-s | tag | tel | pes"));
+  o.blocking =
+      opts.str("mode", "nonblocking", "blocking | nonblocking") == "blocking";
+  o.rounds = static_cast<int>(opts.integer("rounds", 40, "workload rounds"));
+  o.ckpt_every = static_cast<int>(
+      opts.integer("ckpt-every", 8, "checkpoint cadence (0=off)"));
+  o.scale = opts.real("scale", 1.0, "NPB iteration scale");
+  o.fault_spec =
+      opts.str("faults", "", "fault schedule, e.g. 2@10,3@25 (rank@ms)");
+  o.trace = opts.flag("trace", false, "record + validate causal trace");
+  o.dump_trace = opts.flag("dump-trace", false, "print the event log");
+  o.repeat = static_cast<int>(opts.integer("repeat", 1, "repetitions"));
+  o.seed =
+      static_cast<std::uint64_t>(opts.integer("seed", 1, "network seed"));
+  std::string tname = opts.str("transport", to_string(o.transport),
+                               "sim | socket (one OS process per rank)");
+  WINDAR_CHECK(net::parse_transport(tname, &o.transport))
+      << "unknown transport '" << tname << "'";
+  opts.finish();
+  return o;
+}
+
+std::function<void(ft::Ctx&)> make_workload(const SimOptions& o) {
+  if (o.app == "ring") {
+    return [o](ft::Ctx& ctx) { ring_workload(ctx, o.rounds, o.ckpt_every); };
+  }
+  if (o.app == "alltoall") {
+    return
+        [o](ft::Ctx& ctx) { alltoall_workload(ctx, o.rounds, o.ckpt_every); };
+  }
+  npb::App napp = o.app == "bt"   ? npb::App::kBT
+                  : o.app == "sp" ? npb::App::kSP
+                                  : npb::App::kLU;
+  npb::Params params = npb::make_params(napp, o.ranks, o.scale);
+  params.checkpoint_every = o.ckpt_every;
+  return [params](ft::Ctx& ctx) { (void)npb::run_app(ctx, params, &ctx); };
+}
+
+// Socket-mode worker entry: the launcher re-execs this binary with the
+// original app flags plus the --windar-* block; rebuild the same workload
+// from the forwarded flags and run it under the worker lifecycle.
+int sim_worker_main(int argc, char** argv) {
+  const ft::WorkerConfig cfg = ft::WorkerConfig::parse(argc, argv);
+  std::vector<char*> av;
+  av.reserve(cfg.app_args.size());
+  for (const std::string& s : cfg.app_args) {
+    av.push_back(const_cast<char*>(s.c_str()));
+  }
+  SimOptions o = parse_sim_options(static_cast<int>(av.size()), av.data());
+  o.ranks = cfg.n;  // the launcher's rank count is authoritative
+  auto workload = make_workload(o);
+  return ft::run_worker(cfg, [&workload](ft::Ctx& ctx) -> std::uint64_t {
+    workload(ctx);
+    return 0;  // these workloads carry no digest; convergence is the soak's job
+  });
+}
+
+int run_socket_mode(const SimOptions& o, int argc, char** argv) {
+  if (o.trace || o.dump_trace) {
+    std::fprintf(stderr,
+                 "windar_sim: --trace spans one address space; "
+                 "unsupported with --transport=socket\n");
+    return 2;
+  }
+  ft::LaunchSpec spec;
+  spec.job.n = o.ranks;
+  spec.job.protocol = o.protocol;
+  spec.job.mode =
+      o.blocking ? ft::SendMode::kBlocking : ft::SendMode::kNonBlocking;
+  spec.job.faults = parse_faults(o.fault_spec);
+  // Forward the user's flags verbatim; each worker re-parses them.
+  for (int i = 1; i < argc; ++i) spec.worker_args.push_back(argv[i]);
+
+  util::Table table({"run", "wall ms", "msgs", "recoveries", "pkts sent",
+                     "delivered", "MB wire"});
+  bool ok = true;
+  for (int rep = 0; rep < o.repeat; ++rep) {
+    spec.job.seed = o.seed + static_cast<std::uint64_t>(rep);
+    const ft::MultiProcResult r = ft::run_multiproc_job(spec);
+    if (!r.ok) {
+      std::fprintf(stderr, "windar_sim: job failed: %s\n", r.error.c_str());
+      ok = false;
+    }
+    table.row({std::to_string(rep), util::fmt_double(r.wall_ms, 1),
+               std::to_string(r.app_sent), std::to_string(r.recoveries),
+               std::to_string(r.fabric.packets_sent),
+               std::to_string(r.fabric.packets_delivered),
+               util::fmt_double(
+                   static_cast<double>(r.fabric.bytes_sent) / 1e6, 2)});
+  }
+  table.print("windar_sim — " + o.app + " / " + to_string(o.protocol) +
+              " / socket (" + std::to_string(o.ranks) + " processes)");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Options opts(argc, argv);
-  const std::string app =
-      opts.str("app", "ring", "lu | bt | sp | ring | alltoall");
-  const int ranks = static_cast<int>(opts.integer("ranks", 8, "process count"));
-  const auto protocol = parse_protocol(
-      opts.str("protocol", "tdi", "tdi | tdi-s | tag | tel | pes"));
-  const bool blocking =
-      opts.str("mode", "nonblocking", "blocking | nonblocking") == "blocking";
-  const int rounds = static_cast<int>(opts.integer("rounds", 40, "workload rounds"));
-  const int ckpt_every =
-      static_cast<int>(opts.integer("ckpt-every", 8, "checkpoint cadence (0=off)"));
-  const double scale = opts.real("scale", 1.0, "NPB iteration scale");
-  const std::string fault_spec =
-      opts.str("faults", "", "fault schedule, e.g. 2@10,3@25 (rank@ms)");
-  const bool trace = opts.flag("trace", false, "record + validate causal trace");
-  const bool dump_trace = opts.flag("dump-trace", false, "print the event log");
-  const int repeat = static_cast<int>(opts.integer("repeat", 1, "repetitions"));
-  const std::uint64_t seed = static_cast<std::uint64_t>(
-      opts.integer("seed", 1, "network seed"));
-  opts.finish();
+  if (ft::WorkerConfig::is_worker_invocation(argc, argv)) {
+    return sim_worker_main(argc, argv);
+  }
+  const SimOptions o = parse_sim_options(argc, argv);
+  if (o.transport == net::TransportKind::kSocket) {
+    return run_socket_mode(o, argc, argv);
+  }
 
   ft::JobConfig cfg;
-  cfg.n = ranks;
-  cfg.protocol = protocol;
-  cfg.mode = blocking ? ft::SendMode::kBlocking : ft::SendMode::kNonBlocking;
+  cfg.n = o.ranks;
+  cfg.protocol = o.protocol;
+  cfg.mode = o.blocking ? ft::SendMode::kBlocking : ft::SendMode::kNonBlocking;
   cfg.latency = net::LatencyModel::turbulent();
-  cfg.seed = seed;
-  cfg.faults = parse_faults(fault_spec);
+  cfg.seed = o.seed;
+  cfg.faults = parse_faults(o.fault_spec);
   ft::TraceSink sink;
-  if (trace || dump_trace) cfg.trace = &sink;
+  if (o.trace || o.dump_trace) cfg.trace = &sink;
 
-  ft::FtRankFn fn;
-  if (app == "ring") {
-    fn = [&](ft::Ctx& ctx) { ring_workload(ctx, rounds, ckpt_every); };
-  } else if (app == "alltoall") {
-    fn = [&](ft::Ctx& ctx) { alltoall_workload(ctx, rounds, ckpt_every); };
-  } else {
-    npb::App napp = app == "bt"   ? npb::App::kBT
-                    : app == "sp" ? npb::App::kSP
-                                  : npb::App::kLU;
-    npb::Params params = npb::make_params(napp, ranks, scale);
-    params.checkpoint_every = ckpt_every;
-    fn = [params](ft::Ctx& ctx) { (void)npb::run_app(ctx, params, &ctx); };
-  }
+  auto workload = make_workload(o);
+  ft::FtRankFn fn = [&workload](ft::Ctx& ctx) { workload(ctx); };
 
   util::Table table({"run", "wall ms", "msgs", "idents/msg", "track us/msg",
                      "ctrl msgs", "recoveries", "dup", "resent"});
-  for (int rep = 0; rep < repeat; ++rep) {
-    cfg.seed = seed + static_cast<std::uint64_t>(rep);
+  for (int rep = 0; rep < o.repeat; ++rep) {
+    cfg.seed = o.seed + static_cast<std::uint64_t>(rep);
     sink.clear();
     auto result = ft::run_job(cfg, fn);
     const ft::Metrics& m = result.total;
@@ -152,9 +254,9 @@ int main(int argc, char** argv) {
                std::to_string(m.control_msgs),
                std::to_string(m.recoveries), std::to_string(m.dup_dropped),
                std::to_string(m.resent_msgs)});
-    if (dump_trace) std::fputs(sink.dump().c_str(), stdout);
-    if (trace) {
-      const auto verdict = ft::validate_trace(sink.snapshot(), ranks);
+    if (o.dump_trace) std::fputs(sink.dump().c_str(), stdout);
+    if (o.trace) {
+      const auto verdict = ft::validate_trace(sink.snapshot(), o.ranks);
       if (verdict.ok()) {
         std::printf("trace: OK (%llu deliveries, %llu sends validated)\n",
                     static_cast<unsigned long long>(verdict.deliveries_checked),
@@ -167,7 +269,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  table.print("windar_sim — " + app + " / " + to_string(cfg.protocol) + " / " +
-              to_string(cfg.mode));
+  table.print("windar_sim — " + o.app + " / " + to_string(cfg.protocol) +
+              " / " + to_string(cfg.mode));
   return 0;
 }

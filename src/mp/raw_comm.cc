@@ -8,24 +8,24 @@ namespace {
 constexpr std::uint16_t kRawKind = 0x7fff;
 }
 
-RawComm::RawComm(net::Fabric& fabric, int rank, int size)
-    : fabric_(fabric),
+RawComm::RawComm(net::Transport& transport, int rank, int size)
+    : transport_(transport),
       rank_(rank),
       size_(size),
       next_send_(static_cast<std::size_t>(size), 1),
       next_recv_(static_cast<std::size_t>(size), 1) {
-  WINDAR_CHECK_LE(size, fabric.endpoint_count());
+  WINDAR_CHECK_LE(size, transport.endpoint_count());
 }
 
 void RawComm::send(int dst, int tag, std::span<const std::uint8_t> payload) {
   WINDAR_CHECK(dst >= 0 && dst < size_) << "send to bad rank " << dst;
-  fabric_.send(net::make_packet(
+  transport_.send(net::make_packet(
       rank_, dst, kRawKind, tag, next_send_[static_cast<std::size_t>(dst)]++,
       {}, util::Buffer::copy_of(payload)));
 }
 
 bool RawComm::pump() {
-  auto pkt = fabric_.endpoint(rank_).inbox().pop();
+  auto pkt = transport_.endpoint(rank_).inbox().pop();
   if (!pkt) {
     // Poisoned endpoint: the job is being torn down (peer failure or
     // shutdown).  Throw instead of aborting so the runner can unwind.
@@ -55,7 +55,7 @@ void RawComm::promote(int src) {
 
 bool RawComm::probe(int src, int tag) {
   // Drain everything that has already arrived, then scan the ready queue.
-  while (auto pkt = fabric_.endpoint(rank_).inbox().try_pop()) {
+  while (auto pkt = transport_.endpoint(rank_).inbox().try_pop()) {
     WINDAR_CHECK_EQ(pkt->kind, kRawKind) << "raw comm got foreign packet";
     const int from = pkt->src;
     out_of_order_.emplace(std::make_pair(from, pkt->seq), std::move(*pkt));

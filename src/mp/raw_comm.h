@@ -12,13 +12,13 @@
 #include <vector>
 
 #include "mp/comm.h"
-#include "net/fabric.h"
+#include "net/transport.h"
 
 namespace windar::mp {
 
 class RawComm final : public Comm {
  public:
-  RawComm(net::Fabric& fabric, int rank, int size);
+  RawComm(net::Transport& transport, int rank, int size);
 
   int rank() const override { return rank_; }
   int size() const override { return size_; }
@@ -32,7 +32,7 @@ class RawComm final : public Comm {
   bool pump();
   void promote(int src);
 
-  net::Fabric& fabric_;
+  net::Transport& transport_;
   int rank_;
   int size_;
   std::vector<std::uint64_t> next_send_;   // per-destination next seq

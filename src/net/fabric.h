@@ -1,4 +1,6 @@
-// Simulated interconnect.
+// Simulated interconnect — the in-process Transport backend (and the
+// default one; see net/transport.h for the interface contract and
+// net/socket_transport.h for the real-process backend).
 //
 // A Fabric owns N endpoints (one per rank, plus auxiliary endpoints such as
 // TEL's stable-storage event logger).  `send` stamps the packet with a
@@ -48,40 +50,13 @@
 #include "net/chaos.h"
 #include "net/latency.h"
 #include "net/packet.h"
+#include "net/transport.h"
 #include "util/queue.h"
 #include "util/rng.h"
 
 namespace windar::net {
 
-/// Per-endpoint view handed to rank threads.
-class Endpoint {
- public:
-  util::BlockingQueue<Packet>& inbox() { return inbox_; }
-  bool alive() const { return alive_.load(std::memory_order_acquire); }
-
- private:
-  friend class Fabric;
-  util::BlockingQueue<Packet> inbox_;
-  std::atomic<bool> alive_{true};
-};
-
-struct FabricStats {
-  std::uint64_t packets_sent = 0;
-  std::uint64_t packets_delivered = 0;
-  std::uint64_t packets_dropped_dead = 0;   // destination dead at delivery
-  std::uint64_t packets_dropped_chaos = 0;  // sender killed mid-send (chaos)
-  std::uint64_t bytes_sent = 0;  // wire bytes; chaos-dropped sends excluded
-
-  void merge(const FabricStats& other) {
-    packets_sent += other.packets_sent;
-    packets_delivered += other.packets_delivered;
-    packets_dropped_dead += other.packets_dropped_dead;
-    packets_dropped_chaos += other.packets_dropped_chaos;
-    bytes_sent += other.bytes_sent;
-  }
-};
-
-class Fabric {
+class Fabric final : public Transport {
  public:
   /// `endpoints` includes any auxiliary endpoints (e.g. the TEL logger).
   /// `num_shards` scheduler threads split the endpoints by `dst %
@@ -89,13 +64,13 @@ class Fabric {
   /// environment variable if set, else min(4, hardware_concurrency).
   Fabric(int endpoints, LatencyModel model, std::uint64_t seed,
          int num_shards = 0);
-  ~Fabric();
+  ~Fabric() override;
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  int endpoint_count() const { return static_cast<int>(eps_.size()); }
-  Endpoint& endpoint(EndpointId id);
+  int endpoint_count() const override { return static_cast<int>(eps_.size()); }
+  Endpoint& endpoint(EndpointId id) override;
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
 
@@ -107,26 +82,26 @@ class Fabric {
   /// Enqueues a packet for delayed delivery.  Thread-safe.  Packets sent to
   /// dead endpoints still travel and are dropped on arrival, modelling
   /// in-flight loss at the moment of a crash.
-  void send(Packet p);
+  void send(Packet p) override;
 
   /// Marks the endpoint dead and discards all packets queued in its inbox.
-  void kill(EndpointId id);
+  void kill(EndpointId id) override;
 
   /// Re-arms a killed endpoint for an incarnation.
-  void revive(EndpointId id);
+  void revive(EndpointId id) override;
 
   /// Attaches an event-keyed fault schedule (non-owning; must outlive the
   /// fabric's traffic).  Every send and completed delivery is matched
   /// against it.  Call before traffic starts.
-  void set_chaos(FaultSchedule* chaos) {
+  void set_chaos(FaultSchedule* chaos) override {
     chaos_.store(chaos, std::memory_order_release);
   }
 
   /// Stops the schedulers; undelivered packets are discarded.  Idempotent.
-  void shutdown();
+  void shutdown() override;
 
   /// Merged view of the per-shard stats slabs.
-  FabricStats stats() const;
+  FabricStats stats() const override;
 
  private:
   struct InFlight {

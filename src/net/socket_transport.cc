@@ -1,0 +1,484 @@
+#include "net/socket_transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace windar::net {
+
+namespace {
+
+void fill_addr(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  WINDAR_CHECK_LT(path.size(), sizeof(addr->sun_path))
+      << "socket path too long: " << path;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  WINDAR_CHECK_GE(flags, 0) << "fcntl(F_GETFL): " << std::strerror(errno);
+  WINDAR_CHECK_GE(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0)
+      << "fcntl(F_SETFL): " << std::strerror(errno);
+}
+
+}  // namespace
+
+std::string SocketTransport::socket_path(const std::string& dir,
+                                         EndpointId id) {
+  return dir + "/ep" + std::to_string(id) + ".sock";
+}
+
+SocketTransport::SocketTransport(SocketTransportOptions opts)
+    : opts_(std::move(opts)) {
+  WINDAR_CHECK_GT(opts_.endpoints, 0) << "transport needs endpoints";
+  WINDAR_CHECK(opts_.self >= 0 && opts_.self < opts_.endpoints)
+      << "self endpoint " << opts_.self << " outside job of "
+      << opts_.endpoints;
+  WINDAR_CHECK(!opts_.dir.empty()) << "socket dir required";
+
+  self_ep_ = std::make_unique<Endpoint>();
+  const auto n = static_cast<std::size_t>(opts_.endpoints);
+  peer_down_ = std::make_unique<std::atomic<bool>[]>(n);
+  peer_incarnation_ = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+
+  const std::string path = socket_path(opts_.dir, opts_.self);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  WINDAR_CHECK_GE(listen_fd_, 0) << "socket(): " << std::strerror(errno);
+  ::unlink(path.c_str());
+  sockaddr_un addr;
+  fill_addr(path, &addr);
+  WINDAR_CHECK_EQ(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "bind(" << path << "): " << std::strerror(errno);
+  WINDAR_CHECK_EQ(::listen(listen_fd_, 64), 0)
+      << "listen(): " << std::strerror(errno);
+
+  WINDAR_CHECK_EQ(::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC), 0)
+      << "pipe2(): " << std::strerror(errno);
+
+  writers_.resize(n);
+  for (int peer = 0; peer < opts_.endpoints; ++peer) {
+    if (peer == opts_.self) continue;
+    auto w = std::make_unique<PeerWriter>();
+    w->thread = std::thread([this, peer, pw = w.get()] {
+      writer_loop(peer, *pw);
+    });
+    writers_[static_cast<std::size_t>(peer)] = std::move(w);
+  }
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+SocketTransport::~SocketTransport() { shutdown(); }
+
+Endpoint& SocketTransport::endpoint(EndpointId id) {
+  WINDAR_CHECK_EQ(id, opts_.self)
+      << "a SocketTransport hosts only its own endpoint";
+  return *self_ep_;
+}
+
+std::uint32_t SocketTransport::peer_incarnation(EndpointId id) const {
+  WINDAR_CHECK(id >= 0 && id < opts_.endpoints) << "bad endpoint " << id;
+  return peer_incarnation_[static_cast<std::size_t>(id)].load(
+      std::memory_order_acquire);
+}
+
+void SocketTransport::send(Packet p) {
+  WINDAR_CHECK(p.dst >= 0 && p.dst < opts_.endpoints)
+      << "send to bad endpoint " << p.dst;
+  if (shutdown_.load(std::memory_order_acquire)) return;
+  // Same chaos choreography as Fabric::send: triggers fire before the
+  // packet enters the transport, outside every transport lock.  kDelay
+  // shaping is meaningless here (latency is real) and is ignored.
+  FaultSchedule::SendEffects fx;
+  if (FaultSchedule* chaos = chaos_.load(std::memory_order_acquire)) {
+    fx = chaos->on_send(p);
+    if (fx.drop) {
+      std::scoped_lock lock(stats_mu_);
+      ++stats_.packets_sent;
+      ++stats_.packets_dropped_chaos;
+      return;
+    }
+  }
+  if (p.dst == opts_.self) {
+    // Loopback: no wire, but identical accounting so merged stats stay
+    // backend-agnostic.
+    if (fx.duplicate) deliver_local(p);
+    deliver_local(std::move(p));
+    return;
+  }
+  PeerWriter& w = *writers_[static_cast<std::size_t>(p.dst)];
+  {
+    std::scoped_lock lock(stats_mu_);
+    stats_.packets_sent += fx.duplicate ? 2 : 1;
+  }
+  if (fx.duplicate) {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (!w.queue.push(p)) {  // poisoned by shutdown
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+  }
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!w.queue.push(std::move(p))) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+bool SocketTransport::flush(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+void SocketTransport::deliver_local(Packet p) {
+  const int src = p.src;
+  const int dst = p.dst;
+  const std::uint16_t kind = p.kind;
+  const std::size_t bytes = frame_wire_size(p);
+  const bool delivered =
+      self_ep_->alive() && self_ep_->inbox_.push(std::move(p));
+  {
+    std::scoped_lock lock(stats_mu_);
+    ++stats_.packets_sent;
+    stats_.bytes_sent += bytes;
+    if (delivered) {
+      ++stats_.packets_delivered;
+    } else {
+      ++stats_.packets_dropped_dead;
+    }
+  }
+  if (delivered) {
+    if (FaultSchedule* chaos = chaos_.load(std::memory_order_acquire)) {
+      chaos->on_deliver(src, dst, kind);
+    }
+  }
+}
+
+void SocketTransport::kill(EndpointId id) {
+  WINDAR_CHECK(id >= 0 && id < opts_.endpoints) << "bad endpoint " << id;
+  if (id == opts_.self) {
+    self_ep_->alive_.store(false, std::memory_order_release);
+    self_ep_->inbox_.poison();
+    return;
+  }
+  // Local view only: the peer process (if any) is the launcher's to SIGKILL.
+  peer_down_[static_cast<std::size_t>(id)].store(true,
+                                                 std::memory_order_release);
+}
+
+void SocketTransport::revive(EndpointId id) {
+  WINDAR_CHECK(id >= 0 && id < opts_.endpoints) << "bad endpoint " << id;
+  if (id == opts_.self) {
+    self_ep_->inbox_.revive();
+    self_ep_->alive_.store(true, std::memory_order_release);
+    return;
+  }
+  peer_down_[static_cast<std::size_t>(id)].store(false,
+                                                 std::memory_order_release);
+}
+
+void SocketTransport::shutdown() {
+  if (shutdown_.exchange(true)) return;
+  for (auto& w : writers_) {
+    if (w) w->queue.poison();
+  }
+  for (auto& w : writers_) {
+    if (!w) continue;
+    if (w->thread.joinable()) w->thread.join();
+    if (w->fd >= 0) {
+      ::close(w->fd);
+      w->fd = -1;
+    }
+  }
+  // Wake the reader out of poll().
+  const char one = 1;
+  (void)!::write(wake_pipe_[1], &one, 1);
+  if (reader_.joinable()) reader_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  ::unlink(socket_path(opts_.dir, opts_.self).c_str());
+  self_ep_->inbox_.poison();
+}
+
+FabricStats SocketTransport::stats() const {
+  std::scoped_lock lock(stats_mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Writer side
+// ---------------------------------------------------------------------------
+
+void SocketTransport::writer_loop(EndpointId peer, PeerWriter& w) {
+  const auto peer_idx = static_cast<std::size_t>(peer);
+  while (auto item = w.queue.pop()) {
+    Packet p = std::move(*item);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+    bool sent_ok = false;
+    if (!peer_down_[peer_idx].load(std::memory_order_acquire)) {
+      // On a mid-stream failure the peer may be a freshly respawned
+      // incarnation: one reconnect attempt before declaring the packet lost
+      // in flight.
+      for (int attempt = 0; attempt < 2 && !sent_ok; ++attempt) {
+        if (w.fd < 0 && !connect_peer(peer, w)) break;
+        const WriteResult r = write_frame(w.fd, p);
+        if (r == WriteResult::kOk) {
+          sent_ok = true;
+        } else if (r == WriteResult::kAborted) {
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          return;
+        } else {
+          ::close(w.fd);
+          w.fd = -1;
+        }
+      }
+    }
+    {
+      std::scoped_lock lock(stats_mu_);
+      if (sent_ok) {
+        stats_.bytes_sent += frame_wire_size(p);
+      } else {
+        ++stats_.packets_dropped_dead;
+      }
+    }
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+bool SocketTransport::connect_peer(EndpointId peer, PeerWriter& w) {
+  const std::string path = socket_path(opts_.dir, peer);
+  sockaddr_un addr;
+  fill_addr(path, &addr);
+  const auto now = std::chrono::steady_clock::now();
+  // A peer that just failed a full window is almost certainly dead; charge
+  // later packets one attempt instead of a window until it has had time to
+  // come back.
+  const int attempts =
+      now < w.fast_fail_until ? 1 : std::max(1, opts_.connect_attempts);
+  for (int i = 0; i < attempts; ++i) {
+    if (shutdown_.load(std::memory_order_acquire)) return false;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    WINDAR_CHECK_GE(fd, 0) << "socket(): " << std::strerror(errno);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      if (opts_.sndbuf_bytes > 0) {
+        (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.sndbuf_bytes,
+                           sizeof(opts_.sndbuf_bytes));
+      }
+      set_nonblocking(fd);
+      // First frame on every connection: who we are and which incarnation.
+      const Packet hello = make_packet(opts_.self, peer, kHelloKind, 0,
+                                       opts_.incarnation);
+      if (write_frame(fd, hello) == WriteResult::kOk) {
+        std::scoped_lock lock(stats_mu_);
+        stats_.bytes_sent += frame_wire_size(hello);
+        w.fd = fd;
+        w.fast_fail_until = {};
+        return true;
+      }
+    }
+    ::close(fd);
+    if (i + 1 < attempts) std::this_thread::sleep_for(opts_.connect_retry);
+  }
+  w.fast_fail_until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  return false;
+}
+
+SocketTransport::WriteResult SocketTransport::write_frame(int fd,
+                                                          const Packet& p) {
+  // Scatter-gather straight from the packet's refcounted sections: the only
+  // bytes assembled here are the 40-byte header on the stack.  meta/payload
+  // go to the kernel from the Buffer storage they have aliased since the
+  // sender encoded them — zero per-message payload copies.
+  FrameHeaderBytes hdr = encode_frame_header(p, opts_.incarnation);
+  iovec iov[3];
+  iov[0] = {hdr.data(), hdr.size()};
+  iov[1] = {const_cast<std::uint8_t*>(p.meta.data()), p.meta.size()};
+  iov[2] = {const_cast<std::uint8_t*>(p.payload.data()), p.payload.size()};
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 3;
+  std::size_t remaining = frame_wire_size(p);
+  while (remaining > 0) {
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (shutdown_.load(std::memory_order_acquire)) {
+          return WriteResult::kAborted;
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        (void)::poll(&pfd, 1, 20);
+        continue;
+      }
+      // EPIPE / ECONNRESET / anything else: the peer is gone mid-frame.
+      return WriteResult::kPeerGone;
+    }
+    remaining -= static_cast<std::size_t>(n);
+    // Advance the iovec past what the kernel took (partial-write path).
+    std::size_t off = static_cast<std::size_t>(n);
+    while (off > 0 && msg.msg_iovlen > 0) {
+      if (off >= msg.msg_iov[0].iov_len) {
+        off -= msg.msg_iov[0].iov_len;
+        ++msg.msg_iov;
+        --msg.msg_iovlen;
+      } else {
+        msg.msg_iov[0].iov_base =
+            static_cast<std::uint8_t*>(msg.msg_iov[0].iov_base) + off;
+        msg.msg_iov[0].iov_len -= off;
+        off = 0;
+      }
+    }
+    // Skip now-empty leading entries so msg_iovlen reaches 0 at the end.
+    while (msg.msg_iovlen > 0 && msg.msg_iov[0].iov_len == 0) {
+      ++msg.msg_iov;
+      --msg.msg_iovlen;
+    }
+  }
+  return WriteResult::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Reader side
+// ---------------------------------------------------------------------------
+
+void SocketTransport::reader_loop() {
+  struct Conn {
+    int fd;
+    FrameDecoder dec;
+  };
+  std::vector<Conn> conns;
+  std::vector<pollfd> pfds;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const Conn& c : conns) pfds.push_back({c.fd, POLLIN, 0});
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[1].revents != 0) break;  // shutdown wake
+    // Connections accepted below were not in this poll set: only the first
+    // `polled` entries of conns have a matching pfds[i + 2]; fresh fds wait
+    // for the next poll round.
+    const std::size_t polled = pfds.size() - 2;
+    if (pfds[0].revents != 0) {
+      for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;
+        conns.push_back(Conn{fd, FrameDecoder(opts_.max_section_bytes)});
+      }
+    }
+    // pfds[i + 2] mirrors conns[i] for i < polled; service and compact in
+    // one pass.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Conn& c = conns[i];
+      bool alive = true;
+      if (i < polled && pfds[i + 2].revents != 0) {
+        alive = service_connection(c.fd, c.dec);
+      }
+      if (!alive) {
+        ::close(c.fd);
+        continue;
+      }
+      if (keep != i) conns[keep] = std::move(c);
+      ++keep;
+    }
+    conns.resize(keep);
+  }
+  for (const Conn& c : conns) ::close(c.fd);
+}
+
+bool SocketTransport::service_connection(int fd, FrameDecoder& dec) {
+  for (;;) {
+    while (auto p = dec.take_packet()) {
+      if (p->kind == kHelloKind) {
+        if (p->src < 0 || p->src >= opts_.endpoints) {
+          std::scoped_lock lock(stats_mu_);
+          ++stats_.frame_errors;
+          return false;
+        }
+        peer_incarnation_[static_cast<std::size_t>(p->src)].store(
+            dec.last_incarnation(), std::memory_order_release);
+        continue;
+      }
+      if (p->kind >= kTransportKindBase) continue;  // reserved, not for us
+      if (p->dst != opts_.self || p->src < 0 || p->src >= opts_.endpoints) {
+        // Misrouted frame: the stream is not speaking to this endpoint —
+        // treat like corruption, count and hang up.
+        std::scoped_lock lock(stats_mu_);
+        ++stats_.frame_errors;
+        return false;
+      }
+      const int src = p->src;
+      const int dst = p->dst;
+      const std::uint16_t kind = p->kind;
+      const bool delivered =
+          self_ep_->alive() && self_ep_->inbox_.push(std::move(*p));
+      {
+        std::scoped_lock lock(stats_mu_);
+        if (delivered) {
+          ++stats_.packets_delivered;
+        } else {
+          ++stats_.packets_dropped_dead;
+        }
+      }
+      if (delivered) {
+        if (FaultSchedule* chaos = chaos_.load(std::memory_order_acquire)) {
+          chaos->on_deliver(src, dst, kind);
+        }
+      }
+    }
+    if (dec.error() != FrameError::kNone) {
+      // Corrupt magic/version/length: the connection is charged, never the
+      // process.
+      std::scoped_lock lock(stats_mu_);
+      ++stats_.frame_errors;
+      return false;
+    }
+    const auto cur = dec.write_cursor();
+    const ssize_t n = ::read(fd, cur.data(), cur.size());
+    if (n > 0) {
+      dec.advance(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR)) {
+      // EOF or hard error.  Mid-frame means the peer vanished with a frame
+      // in flight (SIGKILL does this routinely): counted, connection
+      // closed, process unharmed.
+      if (!dec.at_frame_boundary()) {
+        std::scoped_lock lock(stats_mu_);
+        ++stats_.frame_errors;
+      }
+      return false;
+    }
+    if (errno == EINTR) continue;
+    return true;  // EAGAIN: drained for now
+  }
+}
+
+}  // namespace windar::net

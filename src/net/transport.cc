@@ -1,0 +1,27 @@
+#include "net/transport.h"
+
+#include <cstdlib>
+
+namespace windar::net {
+
+bool parse_transport(const std::string& s, TransportKind* out) {
+  if (s == "sim") {
+    *out = TransportKind::kSim;
+    return true;
+  }
+  if (s == "socket") {
+    *out = TransportKind::kSocket;
+    return true;
+  }
+  return false;
+}
+
+TransportKind default_transport() {
+  if (const char* env = std::getenv("WINDAR_TRANSPORT")) {
+    TransportKind k;
+    if (parse_transport(env, &k)) return k;
+  }
+  return TransportKind::kSim;
+}
+
+}  // namespace windar::net

@@ -47,28 +47,35 @@ void CheckpointStore::save(int rank, const CheckpointImage& image) {
   ++stats_.saves;
   stats_.bytes_written += data.size();
   if (!spill_dir_.empty()) {
-    const std::string path =
-        spill_dir_ + "/ckpt_rank" + std::to_string(rank) + ".bin";
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    WINDAR_CHECK(out.good()) << "cannot write checkpoint " << path;
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
-    WINDAR_CHECK(out.good()) << "short checkpoint write " << path;
+    // Write-then-rename so a crash (in socket mode: a real SIGKILL) in the
+    // middle of a checkpoint never leaves a truncated image where the last
+    // good one was — stable storage must be stable.
+    const std::string path = file_path(rank);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      WINDAR_CHECK(out.good()) << "cannot write checkpoint " << tmp;
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size()));
+      WINDAR_CHECK(out.good()) << "short checkpoint write " << tmp;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    WINDAR_CHECK(!ec) << "checkpoint rename " << path << ": " << ec.message();
   }
   images_[rank] = std::move(data);
 }
 
 std::optional<CheckpointImage> CheckpointStore::load(int rank) const {
   std::scoped_lock lock(mu_);
-  auto it = images_.find(rank);
-  if (it == images_.end()) return std::nullopt;
-  ++stats_.loads;
   if (!spill_dir_.empty()) {
-    // Exercise the on-disk round trip: read the file back, not the cache.
-    const std::string path =
-        spill_dir_ + "/ckpt_rank" + std::to_string(rank) + ".bin";
+    // Disk is the source of truth when spilling: a respawned OS process has
+    // an empty in-memory map but must still find the checkpoints its
+    // predecessor (or any prior incarnation) saved.
+    const std::string path = file_path(rank);
     std::ifstream in(path, std::ios::binary | std::ios::ate);
-    WINDAR_CHECK(in.good()) << "cannot read checkpoint " << path;
+    if (!in.good()) return std::nullopt;
+    ++stats_.loads;
     const auto size = static_cast<std::size_t>(in.tellg());
     in.seekg(0);
     util::Bytes data(size);
@@ -77,16 +84,28 @@ std::optional<CheckpointImage> CheckpointStore::load(int rank) const {
     WINDAR_CHECK(in.good()) << "short checkpoint read " << path;
     return CheckpointImage::deserialize(data);
   }
+  auto it = images_.find(rank);
+  if (it == images_.end()) return std::nullopt;
+  ++stats_.loads;
   return CheckpointImage::deserialize(it->second);
 }
 
 bool CheckpointStore::has(int rank) const {
   std::scoped_lock lock(mu_);
-  return images_.count(rank) > 0;
+  if (images_.count(rank) > 0) return true;
+  if (spill_dir_.empty()) return false;
+  std::error_code ec;
+  return std::filesystem::exists(file_path(rank), ec);
 }
 
 void CheckpointStore::clear() {
   std::scoped_lock lock(mu_);
+  if (!spill_dir_.empty()) {
+    for (const auto& [rank, data] : images_) {
+      std::error_code ec;
+      std::filesystem::remove(file_path(rank), ec);
+    }
+  }
   images_.clear();
 }
 

@@ -58,6 +58,10 @@ class CheckpointStore {
   CheckpointStoreStats stats() const;
 
  private:
+  std::string file_path(int rank) const {
+    return spill_dir_ + "/ckpt_rank" + std::to_string(rank) + ".bin";
+  }
+
   std::string spill_dir_;
   mutable std::mutex mu_;
   std::unordered_map<int, util::Bytes> images_;  // serialized form

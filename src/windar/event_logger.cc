@@ -4,8 +4,8 @@
 
 namespace windar::ft {
 
-EventLogger::EventLogger(net::Fabric& fabric, Params params)
-    : fabric_(fabric),
+EventLogger::EventLogger(net::Transport& transport, Params params)
+    : transport_(transport),
       params_(params),
       store_(static_cast<std::size_t>(params.ranks)),
       seen_(static_cast<std::size_t>(params.ranks)) {
@@ -16,12 +16,12 @@ EventLogger::EventLogger(net::Fabric& fabric, Params params)
 EventLogger::~EventLogger() { stop(); }
 
 void EventLogger::stop() {
-  fabric_.endpoint(params_.endpoint).inbox().poison();
+  transport_.endpoint(params_.endpoint).inbox().poison();
   if (thread_.joinable()) thread_.join();
 }
 
 void EventLogger::serve() {
-  auto& inbox = fabric_.endpoint(params_.endpoint).inbox();
+  auto& inbox = transport_.endpoint(params_.endpoint).inbox();
   while (auto p = inbox.pop()) {
     handle(std::move(*p));
   }
@@ -52,7 +52,7 @@ void EventLogger::handle(net::Packet&& p) {
         }
         watermark = seen.watermark();
       }
-      fabric_.send(
+      transport_.send(
           control_packet(params_.endpoint, owner, Kind::kTelAck, watermark));
       break;
     }
@@ -70,7 +70,7 @@ void EventLogger::handle(net::Packet&& p) {
       }
       util::ByteWriter w;
       write_determinants(w, dets);
-      fabric_.send(control_packet(params_.endpoint, owner,
+      transport_.send(control_packet(params_.endpoint, owner,
                                   Kind::kTelQueryReply, 0, w.take()));
       break;
     }

@@ -15,7 +15,7 @@
 #include <thread>
 #include <vector>
 
-#include "net/fabric.h"
+#include "net/transport.h"
 #include "windar/determinant.h"
 #include "windar/seqset.h"
 #include "windar/wire.h"
@@ -30,7 +30,7 @@ class EventLogger {
     std::chrono::microseconds storage_delay{5};
   };
 
-  EventLogger(net::Fabric& fabric, Params params);
+  EventLogger(net::Transport& transport, Params params);
   ~EventLogger();
 
   EventLogger(const EventLogger&) = delete;
@@ -46,7 +46,7 @@ class EventLogger {
   void serve();
   void handle(net::Packet&& p);
 
-  net::Fabric& fabric_;
+  net::Transport& transport_;
   Params params_;
 
   mutable std::mutex mu_;

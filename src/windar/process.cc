@@ -21,17 +21,17 @@ void Process::breadcrumb(const char* api, int a, int b) {
               std::to_string(b);
 }
 
-Process::Process(net::Fabric& fabric, CheckpointStore& store,
+Process::Process(net::Transport& transport, CheckpointStore& store,
                  ProcessParams params, bool recovering)
-    : fabric_(fabric),
+    : transport_(transport),
       store_(store),
       params_(params),
       channels_(params_.n, params_.rank),
       log_(params_.n),
       tracker_(make_protocol(params_.protocol, params_.rank, params_.n)),
-      send_path_(fabric_, params_, life_, channels_, tracker_, log_,
+      send_path_(transport_, params_, life_, channels_, tracker_, log_,
                  metrics_),
-      recovery_(fabric_, store_, params_, channels_, log_, tracker_,
+      recovery_(transport_, store_, params_, channels_, log_, tracker_,
                 send_path_, metrics_),
       delivery_(params_, channels_, tracker_, recovery_.gate(), metrics_) {
   WINDAR_CHECK(params_.rank >= 0 && params_.rank < params_.n) << "bad rank";
@@ -60,7 +60,7 @@ Process::Process(net::Fabric& fabric, CheckpointStore& store,
 
   // The incarnation reclaims the failed rank's endpoint before anything is
   // broadcast, so responses and resends are not dropped.
-  fabric_.revive(params_.rank);
+  transport_.revive(params_.rank);
   last_tel_flush_ = Clock::now();
 
   if (recovering) recovery_.restore_from_checkpoint();
@@ -178,7 +178,7 @@ bool Process::probe(int src, int tag) {
   life_.throw_if_dead();
   if (params_.mode == SendMode::kBlocking) {
     // Single-threaded: opportunistically drain already-arrived packets.
-    while (auto p = fabric_.endpoint(params_.rank).inbox().try_pop()) {
+    while (auto p = transport_.endpoint(params_.rank).inbox().try_pop()) {
       dispatch(std::move(*p));
     }
   }

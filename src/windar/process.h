@@ -25,7 +25,7 @@
 #include <string>
 
 #include "mp/comm.h"
-#include "net/fabric.h"
+#include "net/transport.h"
 #include "windar/channel_state.h"
 #include "windar/checkpoint.h"
 #include "windar/delivery_queue.h"
@@ -46,7 +46,7 @@ class Process {
   /// `recovering` marks an incarnation: state is restored from the last
   /// checkpoint (or from scratch if none) and a ROLLBACK is broadcast before
   /// the application re-enters.
-  Process(net::Fabric& fabric, CheckpointStore& store, ProcessParams params,
+  Process(net::Transport& transport, CheckpointStore& store, ProcessParams params,
           bool recovering);
   ~Process();
 
@@ -112,7 +112,7 @@ class Process {
   void breadcrumb(const char* api, int a, int b);
   static bool debug_breadcrumbs();
 
-  net::Fabric& fabric_;
+  net::Transport& transport_;
   CheckpointStore& store_;
   ProcessParams params_;
 

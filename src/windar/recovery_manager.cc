@@ -7,12 +7,12 @@
 
 namespace windar::ft {
 
-RecoveryManager::RecoveryManager(net::Fabric& fabric, CheckpointStore& store,
+RecoveryManager::RecoveryManager(net::Transport& transport, CheckpointStore& store,
                                  const ProcessParams& params,
                                  ChannelState& channels, SenderLog& log,
                                  ProtocolHost& tracker, SendPath& send_path,
                                  SharedMetrics& metrics)
-    : fabric_(fabric),
+    : transport_(transport),
       store_(store),
       params_(params),
       channels_(channels),
@@ -72,7 +72,7 @@ void RecoveryManager::restore_from_checkpoint() {
   const auto me = static_cast<std::size_t>(params_.rank);
   log_.for_each_from(params_.rank, last_deliver[me], [&](const LogEntry& e) {
     metrics_.update([](Metrics& m) { ++m.resent_msgs; });
-    fabric_.send(app_packet(params_.rank, params_.rank, e.tag, e.send_index,
+    transport_.send(app_packet(params_.rank, params_.rank, e.tag, e.send_index,
                             e.meta, e.payload));
   });
 }
@@ -128,7 +128,7 @@ void RecoveryManager::handle_rollback(int from, std::uint32_t peer_epoch,
   // response, keeps retrying its ROLLBACK, and our incarnation serves it.
   log_.for_each_from(from, ldi[me], [&](const LogEntry& e) {
     metrics_.update([](Metrics& m) { ++m.resent_msgs; });
-    fabric_.send(app_packet(params_.rank, from, e.tag, e.send_index, e.meta,
+    transport_.send(app_packet(params_.rank, from, e.tag, e.send_index, e.meta,
                             e.payload));
   });
 

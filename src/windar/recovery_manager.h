@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "net/fabric.h"
+#include "net/transport.h"
 #include "windar/channel_state.h"
 #include "windar/checkpoint.h"
 #include "windar/metrics.h"
@@ -39,7 +39,7 @@ class RecoveryManager {
  public:
   using Clock = std::chrono::steady_clock;
 
-  RecoveryManager(net::Fabric& fabric, CheckpointStore& store,
+  RecoveryManager(net::Transport& transport, CheckpointStore& store,
                   const ProcessParams& params, ChannelState& channels,
                   SenderLog& log, ProtocolHost& tracker, SendPath& send_path,
                   SharedMetrics& metrics);
@@ -89,7 +89,7 @@ class RecoveryManager {
   void broadcast_rollback_locked();
   void update_gather_done_locked();
 
-  net::Fabric& fabric_;
+  net::Transport& transport_;
   CheckpointStore& store_;
   const ProcessParams& params_;
   ChannelState& channels_;

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "net/fabric.h"
 #include "util/check.h"
 #include "util/clock.h"
 #include "windar/event_logger.h"

@@ -7,11 +7,11 @@
 
 namespace windar::ft {
 
-SendPath::SendPath(net::Fabric& fabric, const ProcessParams& params,
+SendPath::SendPath(net::Transport& transport, const ProcessParams& params,
                    LifeFlags& life, ChannelState& channels,
                    ProtocolHost& tracker, SenderLog& log,
                    SharedMetrics& metrics)
-    : fabric_(fabric),
+    : transport_(transport),
       params_(params),
       life_(life),
       channels_(channels),
@@ -34,7 +34,7 @@ void SendPath::stop() {
   queue_a_.poison();
   // Wake a receiver thread blocked on the inbox.  By teardown time the rank
   // is either dead (inbox already poisoned) or the job is over.
-  fabric_.endpoint(params_.rank).inbox().poison();
+  transport_.endpoint(params_.rank).inbox().poison();
   if (cb_.wake) cb_.wake();
   if (recv_thread_.joinable()) recv_thread_.join();
   if (send_thread_.joinable()) send_thread_.join();
@@ -55,14 +55,14 @@ void SendPath::transmit(net::Packet p) {
       life_.throw_if_dead();
     }
   } else {
-    fabric_.send(std::move(p));
+    transport_.send(std::move(p));
   }
 }
 
 void SendPath::send_control(int dst, Kind kind, std::uint64_t seq,
                             util::Buffer payload) {
   metrics_.update([](Metrics& m) { ++m.control_msgs; });
-  fabric_.send(control_packet(params_.rank, dst, kind, seq,
+  transport_.send(control_packet(params_.rank, dst, kind, seq,
                               std::move(payload)));
 }
 
@@ -138,7 +138,7 @@ void SendPath::send_app(int dst, int tag,
 
 void SendPath::pump_once(Clock::time_point deadline) {
   life_.throw_if_dead();
-  auto& inbox = fabric_.endpoint(params_.rank).inbox();
+  auto& inbox = transport_.endpoint(params_.rank).inbox();
   auto p = inbox.pop_until(deadline);
   if (!p && inbox.poisoned()) {
     // Either we were fault-injected (throw Killed) or the job is being torn
@@ -151,7 +151,7 @@ void SendPath::pump_once(Clock::time_point deadline) {
 }
 
 void SendPath::recv_loop() {
-  auto& inbox = fabric_.endpoint(params_.rank).inbox();
+  auto& inbox = transport_.endpoint(params_.rank).inbox();
   while (true) {
     // Idle-block unless timed work is pending (rollback retries during
     // recovery) — helper-thread wakeups are pure overhead otherwise.
@@ -173,7 +173,7 @@ void SendPath::recv_loop() {
 
 void SendPath::send_loop() {
   while (auto p = queue_a_.pop()) {
-    fabric_.send(std::move(*p));
+    transport_.send(std::move(*p));
   }
 }
 

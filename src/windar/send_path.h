@@ -26,7 +26,7 @@
 #include <span>
 #include <thread>
 
-#include "net/fabric.h"
+#include "net/transport.h"
 #include "windar/channel_state.h"
 #include "windar/fault.h"
 #include "windar/metrics.h"
@@ -55,7 +55,7 @@ class SendPath {
     std::function<void()> transport_closed;
   };
 
-  SendPath(net::Fabric& fabric, const ProcessParams& params, LifeFlags& life,
+  SendPath(net::Transport& transport, const ProcessParams& params, LifeFlags& life,
            ChannelState& channels, ProtocolHost& tracker, SenderLog& log,
            SharedMetrics& metrics);
   ~SendPath();
@@ -90,7 +90,7 @@ class SendPath {
   void recv_loop();
   void send_loop();
 
-  net::Fabric& fabric_;
+  net::Transport& transport_;
   const ProcessParams& params_;
   LifeFlags& life_;
   ChannelState& channels_;

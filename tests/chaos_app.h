@@ -36,6 +36,39 @@ inline JobConfig plan_config(const ChaosPlan& plan, ProtocolKind proto,
   return cfg;
 }
 
+/// The per-rank ring-exchange body, shared verbatim by the in-process
+/// runtime (run_plan below) and the multi-process socket workers
+/// (bench/chaos_soak.cc, tests/test_socket_job.cc).  Returns this rank's
+/// final digest — a pure function of the delivered values, so the in-process
+/// and multi-process combines are directly comparable.
+inline std::uint64_t ring_digest_rank(Ctx& ctx, int iterations,
+                                      int checkpoint_every) {
+  const int n = ctx.size();
+  const int me = ctx.rank();
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  int start = 0;
+  std::uint64_t digest = 0x9E37 + static_cast<std::uint64_t>(me);
+  if (ctx.restored()) {
+    util::ByteReader r(*ctx.restored());
+    start = r.i32();
+    digest = r.u64();
+  }
+  for (int it = start; it < iterations; ++it) {
+    if (it > 0 && it % checkpoint_every == 0) {
+      util::ByteWriter w;
+      w.i32(it);
+      w.u64(digest);
+      ctx.checkpoint(w.view());
+    }
+    mp::send_value(ctx, right, 1, digest ^ static_cast<std::uint64_t>(it));
+    const auto from_left = mp::recv_value<std::uint64_t>(ctx, left, 1);
+    digest = digest * 1099511628211ull + from_left +
+             static_cast<std::uint64_t>(it);
+  }
+  return digest;
+}
+
 /// Runs the plan's ring exchange under `proto` and returns the summed digest
 /// plus the job result.  Deterministic: two calls with the same plan and
 /// protocol produce the same digest whatever faults fired.
@@ -45,35 +78,13 @@ inline SoakOutcome run_plan(const ChaosPlan& plan, ProtocolKind proto,
   const int checkpoint_every = plan.checkpoint_every;
   auto sum = std::make_shared<std::atomic<std::uint64_t>>(0);
   SoakOutcome out;
-  out.result = run_job(
-      plan_config(plan, proto, with_faults),
-      [iterations, checkpoint_every, sum](Ctx& ctx) {
-        const int n = ctx.size();
-        const int me = ctx.rank();
-        const int right = (me + 1) % n;
-        const int left = (me - 1 + n) % n;
-        int start = 0;
-        std::uint64_t digest = 0x9E37 + static_cast<std::uint64_t>(me);
-        if (ctx.restored()) {
-          util::ByteReader r(*ctx.restored());
-          start = r.i32();
-          digest = r.u64();
-        }
-        for (int it = start; it < iterations; ++it) {
-          if (it > 0 && it % checkpoint_every == 0) {
-            util::ByteWriter w;
-            w.i32(it);
-            w.u64(digest);
-            ctx.checkpoint(w.view());
-          }
-          mp::send_value(ctx, right, 1,
-                         digest ^ static_cast<std::uint64_t>(it));
-          const auto from_left = mp::recv_value<std::uint64_t>(ctx, left, 1);
-          digest = digest * 1099511628211ull + from_left +
-                   static_cast<std::uint64_t>(it);
-        }
-        sum->fetch_add(digest % 1000000007ull);
-      });
+  out.result = run_job(plan_config(plan, proto, with_faults),
+                       [iterations, checkpoint_every, sum](Ctx& ctx) {
+                         sum->fetch_add(
+                             ring_digest_rank(ctx, iterations,
+                                              checkpoint_every) %
+                             1000000007ull);
+                       });
   out.digest = sum->load();
   return out;
 }

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "windar/checkpoint.h"
 
@@ -89,6 +90,69 @@ TEST(CheckpointStore, SpillToDiskRoundTrip) {
     ASSERT_TRUE(img.has_value());
     EXPECT_EQ(img->app, sample_image().app);
   }
+  std::filesystem::remove_all(dir);
+}
+
+// A respawned OS process constructs a brand-new store over the same spill
+// directory; disk must be the source of truth even though the in-memory map
+// is empty (this is exactly the socket-transport recovery path).
+TEST(CheckpointStore, FreshStoreReloadsPredecessorsImages) {
+  const std::string dir = "/tmp/windar_test_ckpt_reload";
+  std::filesystem::remove_all(dir);
+  {
+    CheckpointStore first(dir);
+    CheckpointImage img = sample_image();
+    img.ckpt_seq = 7;
+    first.save(1, img);
+  }  // "process" dies; only the files survive
+  {
+    CheckpointStore respawned(dir);
+    EXPECT_TRUE(respawned.has(1));
+    EXPECT_FALSE(respawned.has(0));
+    auto img = respawned.load(1);
+    ASSERT_TRUE(img.has_value());
+    EXPECT_EQ(img->ckpt_seq, 7u);
+    EXPECT_EQ(img->app, sample_image().app);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Saves go through write-then-rename: after a completed save no .tmp file
+// remains, and a stale .tmp from a crashed predecessor never shadows the
+// real image.
+TEST(CheckpointStore, SaveIsAtomicAndIgnoresStaleTmp) {
+  const std::string dir = "/tmp/windar_test_ckpt_atomic";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {  // a predecessor died mid-checkpoint, leaving a truncated tmp file
+    std::ofstream junk(dir + "/ckpt_rank3.bin.tmp", std::ios::binary);
+    junk << "garbage";
+  }
+  CheckpointStore store(dir);
+  EXPECT_FALSE(store.has(3));
+  EXPECT_FALSE(store.load(3).has_value());
+  store.save(3, sample_image());
+  EXPECT_FALSE(std::filesystem::exists(dir + "/ckpt_rank3.bin.tmp"));
+  auto img = store.load(3);
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ(img->delivered_total, 8u);
+  std::filesystem::remove_all(dir);
+}
+
+// Disk reflects the latest save immediately: a second store opened while the
+// first is still alive sees the overwrite, not the original.
+TEST(CheckpointStore, DiskReflectsLatestOverwrite) {
+  const std::string dir = "/tmp/windar_test_ckpt_latest";
+  std::filesystem::remove_all(dir);
+  CheckpointStore writer(dir);
+  writer.save(0, sample_image());
+  CheckpointImage img2 = sample_image();
+  img2.ckpt_seq = 42;
+  writer.save(0, img2);
+  CheckpointStore reader(dir);
+  auto loaded = reader.load(0);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->ckpt_seq, 42u);
   std::filesystem::remove_all(dir);
 }
 

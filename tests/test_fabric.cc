@@ -4,12 +4,19 @@
 // packets_dropped_chaos.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "net/fabric.h"
+#include "net/socket_transport.h"
 
 namespace windar::net {
 namespace {
@@ -291,6 +298,101 @@ TEST(Fabric, KillDuringDeliveryStormAccountsEveryPacket) {
               dead.packets_delivered + dead.packets_dropped_dead +
                   dead.packets_dropped_chaos)
         << "shards=" << shards;
+  }
+}
+
+// --- Backend parity ----------------------------------------------------------
+
+// The drop-accounting invariant is a *Transport* contract, not a Fabric
+// implementation detail: the same mixed traffic (normal delivery, a
+// mid-burst kill, post-kill sends) must close exactly on both backends.
+TEST(TransportInvariant, AccountsEveryPacketOnBothBackends) {
+  constexpr int kEndpoints = 4;
+  constexpr std::uint64_t kPerChannel = 30;
+
+  const auto drive = [&](auto& send, auto& kill_ep, auto& drain) {
+    for (std::uint64_t i = 1; i <= kPerChannel; ++i) {
+      for (int dst = 0; dst < kEndpoints; ++dst) {
+        send(make((dst + 1) % kEndpoints, dst, i));
+      }
+    }
+    drain();
+    kill_ep(1);
+    for (std::uint64_t i = 1; i <= kPerChannel; ++i) send(make(0, 1, i));
+  };
+
+  // In-process simulated backend.
+  {
+    Fabric f(kEndpoints, LatencyModel::deterministic(), 1, 2);
+    std::function<void(Packet)> send = [&](Packet p) { f.send(std::move(p)); };
+    std::function<void(int)> kill_ep = [&](int ep) { f.kill(ep); };
+    std::function<void()> drain = [&] {
+      for (int ep = 0; ep < kEndpoints; ++ep) {
+        for (std::uint64_t i = 0; i < kPerChannel; ++i) {
+          ASSERT_TRUE(f.endpoint(ep).inbox().pop().has_value());
+        }
+      }
+    };
+    drive(send, kill_ep, drain);
+    const FabricStats s = quiesced_stats(f);
+    EXPECT_EQ(s.packets_sent, (kEndpoints + 1) * kPerChannel);
+    EXPECT_TRUE(s.accounted());
+    EXPECT_EQ(s.packets_dropped_dead, kPerChannel);
+  }
+
+  // Socket backend: one transport per "process", merged stats.
+  {
+    char tmpl[] = "/tmp/windar_fab_XXXXXX";
+    const std::string dir = ::mkdtemp(tmpl);
+    std::vector<std::unique_ptr<SocketTransport>> nodes;
+    for (int i = 0; i < kEndpoints; ++i) {
+      SocketTransportOptions o;
+      o.endpoints = kEndpoints;
+      o.self = i;
+      o.dir = dir;
+      nodes.push_back(std::make_unique<SocketTransport>(o));
+    }
+    const auto merged = [&] {
+      FabricStats s;
+      for (const auto& t : nodes) s.merge(t->stats());
+      return s;
+    };
+    std::function<void(Packet)> send = [&](Packet p) {
+      nodes[static_cast<std::size_t>(p.src)]->send(std::move(p));
+    };
+    // Killing a rank in socket mode poisons its hosted inbox (the launcher's
+    // SIGKILL analogue) — later arrivals book as dropped_dead on the
+    // receiver side.
+    std::function<void(int)> kill_ep = [&](int ep) {
+      nodes[static_cast<std::size_t>(ep)]->kill(ep);
+    };
+    std::function<void()> drain = [&] {
+      for (int ep = 0; ep < kEndpoints; ++ep) {
+        for (std::uint64_t i = 0; i < kPerChannel; ++i) {
+          ASSERT_TRUE(nodes[static_cast<std::size_t>(ep)]
+                          ->endpoint(ep)
+                          .inbox()
+                          .pop_until(std::chrono::steady_clock::now() + 10s)
+                          .has_value());
+        }
+      }
+    };
+    drive(send, kill_ep, drain);
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    FabricStats s = merged();
+    while (std::chrono::steady_clock::now() < deadline &&
+           !(s.accounted() &&
+             s.packets_sent == (kEndpoints + 1) * kPerChannel)) {
+      std::this_thread::sleep_for(500us);
+      s = merged();
+    }
+    EXPECT_EQ(s.packets_sent, (kEndpoints + 1) * kPerChannel);
+    EXPECT_TRUE(s.accounted());
+    EXPECT_EQ(s.packets_dropped_dead, kPerChannel);
+    EXPECT_EQ(s.frame_errors, 0u);
+    for (auto& t : nodes) t->shutdown();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <thread>
 
+#include "net/fabric.h"
 #include "windar/codec.h"
 #include "windar/recovery_manager.h"
 

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <thread>
 
+#include "net/fabric.h"
 #include "windar/send_path.h"
 
 namespace windar::ft {
