@@ -42,6 +42,7 @@ struct Options {
   int schedules = 50;
   std::uint64_t seed0 = 1000;
   std::vector<ProtocolKind> protocols = {ProtocolKind::kTdi,
+                                         ProtocolKind::kTdiDelta,
                                          ProtocolKind::kTag,
                                          ProtocolKind::kTel};
   std::uint64_t replay = 0;  // 0: sweep mode
@@ -52,6 +53,7 @@ struct Options {
 ProtocolKind parse_protocol(const std::string& s) {
   if (s == "tdi") return ProtocolKind::kTdi;
   if (s == "tdi-sparse") return ProtocolKind::kTdiSparse;
+  if (s == "tdi-d" || s == "tdi-delta") return ProtocolKind::kTdiDelta;
   if (s == "tag") return ProtocolKind::kTag;
   if (s == "tel") return ProtocolKind::kTel;
   if (s == "pes") return ProtocolKind::kPes;

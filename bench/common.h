@@ -2,12 +2,14 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "npb/driver.h"
+#include "util/check.h"
 #include "util/options.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -36,6 +38,7 @@ struct NpbJob {
                              // paper's 180 s checkpoint interval
   std::vector<ft::FaultEvent> faults;
   std::uint64_t seed = 1;
+  exec::ExecModel exec_model = exec::ExecModel::kAuto;
 };
 
 struct NpbOutcome {
@@ -52,6 +55,7 @@ inline NpbOutcome run_npb_job(const NpbJob& job) {
   cfg.mode = job.mode;
   cfg.latency = bench_latency();
   cfg.seed = job.seed;
+  cfg.exec_model = job.exec_model;
   cfg.faults = job.faults;
   cfg.restart_delay_ms = 5;
   auto checksum = std::make_shared<std::atomic<double>>(0.0);
@@ -76,8 +80,107 @@ inline const std::vector<ft::ProtocolKind>& all_protocols() {
   return protos;
 }
 
+/// The TDI encodings: the only protocols whose per-message cost stays
+/// tractable at 1k-4k ranks (determinant piggybacks grow with traffic too).
+inline const std::vector<ft::ProtocolKind>& tdi_family() {
+  static const std::vector<ft::ProtocolKind> protos{
+      ft::ProtocolKind::kTdi, ft::ProtocolKind::kTdiSparse,
+      ft::ProtocolKind::kTdiDelta};
+  return protos;
+}
+
+/// True for protocols that log determinants (piggyback grows with traffic),
+/// i.e. the ones a scale sweep must cap or they dominate the wall clock.
+inline bool determinant_based(ft::ProtocolKind p) {
+  return p == ft::ProtocolKind::kTag || p == ft::ProtocolKind::kTel ||
+         p == ft::ProtocolKind::kPes;
+}
+
+inline ft::ProtocolKind parse_protocol_name(const std::string& s) {
+  if (s == "tdi") return ft::ProtocolKind::kTdi;
+  if (s == "tdi-s" || s == "tdis") return ft::ProtocolKind::kTdiSparse;
+  if (s == "tdi-d" || s == "tdid") return ft::ProtocolKind::kTdiDelta;
+  if (s == "tag") return ft::ProtocolKind::kTag;
+  if (s == "tel") return ft::ProtocolKind::kTel;
+  if (s == "pes") return ft::ProtocolKind::kPes;
+  WINDAR_CHECK(false) << "unknown protocol '" << s << "'";
+  return ft::ProtocolKind::kTdi;
+}
+
+inline std::vector<ft::ProtocolKind> parse_protocol_list(
+    const std::string& csv) {
+  std::vector<ft::ProtocolKind> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t next = csv.find(',', pos);
+    if (next == std::string::npos) next = csv.size();
+    if (next > pos) out.push_back(parse_protocol_name(csv.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
+}
+
 inline std::string fmt(double v, int digits = 2) {
   return util::fmt_double(v, digits);
 }
+
+/// Minimal machine-readable output: an array of flat JSON objects, one per
+/// bench row, written in one shot.  Values are either numbers or strings —
+/// nothing nested, no escapes beyond quoting (bench strings are tokens).
+class JsonRows {
+ public:
+  JsonRows& field(const char* key, const std::string& v) {
+    sep();
+    row_ += '"';
+    row_ += key;
+    row_ += "\": \"";
+    row_ += v;
+    row_ += '"';
+    return *this;
+  }
+  JsonRows& field(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonRows& field(const char* key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonRows& field(const char* key, int v) { return raw(key, std::to_string(v)); }
+
+  void end_row() {
+    rows_.push_back("  {" + row_ + "}");
+    row_.clear();
+  }
+
+  /// Writes `[ {...}, ... ]` to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fputs(rows_[i].c_str(), f);
+      std::fputs(i + 1 < rows_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  JsonRows& raw(const char* key, const std::string& lit) {
+    sep();
+    row_ += '"';
+    row_ += key;
+    row_ += "\": ";
+    row_ += lit;
+    return *this;
+  }
+  void sep() {
+    if (!row_.empty()) row_ += ", ";
+  }
+
+  std::string row_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace windar::bench

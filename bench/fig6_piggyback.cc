@@ -7,9 +7,11 @@
 // and TEL piggyback determinants (4 identifiers each) and grow sharply with
 // message frequency (LU worst) and with system scale; TEL sits below TAG
 // because stability acknowledgements from the event logger retire
-// determinants early.
+// determinants early.  The TDI-S/TDI-D rows judge the sparse and delta
+// encodings against the same dense baseline: "pb ratio" is wire bytes over
+// what the dense vector would have cost for the same sends.
 //
-//   ./fig6_piggyback [--ranks=4,8,16,32] [--scale=1.0] [--csv]
+//   ./fig6_piggyback [--ranks=4,8,16,32] [--scale=1.0] [--csv] [--json=F]
 #include "bench/common.h"
 
 using namespace windar;
@@ -19,30 +21,53 @@ int main(int argc, char** argv) {
   util::Options opts(argc, argv);
   const auto ranks = opts.int_list("ranks", {4, 8, 16, 32}, "rank sweep");
   const double scale = opts.real("scale", 1.0, "iteration scale factor");
+  const auto protocols = parse_protocol_list(
+      opts.str("protocols", "tdi,tdi-s,tdi-d,tag,tel",
+               "comma list: tdi | tdi-s | tdi-d | tag | tel | pes"));
+  exec::ExecModel exec_model = exec::ExecModel::kAuto;
+  const std::string ename =
+      opts.str("exec", "auto", "threads | coop | auto (rank execution model)");
+  WINDAR_CHECK(exec::parse_exec_model(ename, &exec_model))
+      << "unknown exec model '" << ename << "'";
+  const std::string json_path =
+      opts.str("json", "", "also write rows to this JSON file");
   const bool csv = opts.flag("csv", false, "also print CSV");
   opts.finish();
 
   util::Table table({"app", "ranks", "protocol", "msgs",
                      "piggyback idents/msg", "piggyback bytes/msg",
-                     "logger msgs"});
+                     "pb ratio", "logger msgs"});
+  JsonRows json;
 
   for (auto app : all_apps()) {
     for (int n : ranks) {
-      for (auto proto : all_protocols()) {
+      for (auto proto : protocols) {
         NpbJob job;
         job.app = app;
         job.ranks = n;
         job.protocol = proto;
         job.scale = scale;
+        job.exec_model = exec_model;
         const NpbOutcome out = run_npb_job(job);
         const ft::Metrics& m = out.result.total;
+        const double bytes_per_msg =
+            m.app_sent ? static_cast<double>(m.piggyback_bytes) /
+                             static_cast<double>(m.app_sent)
+                       : 0.0;
         table.row({std::string(to_string(app)), std::to_string(n),
                    to_string(proto), std::to_string(m.app_sent),
-                   fmt(m.avg_piggyback_idents()),
-                   fmt(m.app_sent ? static_cast<double>(m.piggyback_bytes) /
-                                        static_cast<double>(m.app_sent)
-                                  : 0.0),
+                   fmt(m.avg_piggyback_idents()), fmt(bytes_per_msg),
+                   fmt(m.piggyback_compression(), 3),
                    std::to_string(out.result.logger_batches)});
+        json.field("app", std::string(to_string(app)))
+            .field("ranks", n)
+            .field("protocol", std::string(to_string(proto)))
+            .field("msgs", m.app_sent)
+            .field("piggyback_idents_per_msg", m.avg_piggyback_idents())
+            .field("piggyback_bytes_per_msg", bytes_per_msg)
+            .field("piggyback_ratio", m.piggyback_compression())
+            .field("logger_msgs", out.result.logger_batches)
+            .end_row();
       }
     }
   }
@@ -50,5 +75,9 @@ int main(int argc, char** argv) {
   table.print(
       "Fig. 6 — average piggyback per message (identifiers), TDI vs TAG vs TEL");
   if (csv) std::fputs(table.csv().c_str(), stdout);
+  if (!json_path.empty()) {
+    WINDAR_CHECK(json.write(json_path)) << "cannot write " << json_path;
+    std::fprintf(stderr, "fig6_piggyback: wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "util/options.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/wait.h"
 #include "windar/launcher.h"
 #include "windar/runtime.h"
 #include "windar/trace.h"
@@ -38,6 +39,7 @@ ft::ProtocolKind parse_protocol(const std::string& s) {
   if (s == "tel") return ft::ProtocolKind::kTel;
   if (s == "pes") return ft::ProtocolKind::kPes;
   if (s == "tdi-s" || s == "tdis") return ft::ProtocolKind::kTdiSparse;
+  if (s == "tdi-d" || s == "tdid") return ft::ProtocolKind::kTdiDelta;
   return ft::ProtocolKind::kTdi;
 }
 
@@ -74,7 +76,7 @@ void ring_workload(ft::Ctx& ctx, int rounds, int ckpt_every) {
     }
     mp::send_value(ctx, (ctx.rank() + 1) % n, 0, i);
     (void)mp::recv_value<int>(ctx, (ctx.rank() + n - 1) % n, 0);
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    util::coop_sleep_for(std::chrono::microseconds(200));
   }
 }
 
@@ -95,7 +97,7 @@ void alltoall_workload(ft::Ctx& ctx, int rounds, int ckpt_every) {
       if (d != ctx.rank()) mp::send_value(ctx, d, i, ctx.rank());
     }
     for (int j = 0; j < n - 1; ++j) (void)ctx.recv(mp::kAnySource, i);
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    util::coop_sleep_for(std::chrono::microseconds(200));
   }
 }
 
@@ -113,6 +115,8 @@ struct SimOptions {
   int repeat = 1;
   std::uint64_t seed = 1;
   net::TransportKind transport = net::default_transport();
+  exec::ExecModel exec_model = exec::ExecModel::kAuto;
+  int exec_workers = 0;
 };
 
 SimOptions parse_sim_options(int argc, char** argv) {
@@ -121,7 +125,7 @@ SimOptions parse_sim_options(int argc, char** argv) {
   o.app = opts.str("app", "ring", "lu | bt | sp | ring | alltoall");
   o.ranks = static_cast<int>(opts.integer("ranks", 8, "process count"));
   o.protocol = parse_protocol(
-      opts.str("protocol", "tdi", "tdi | tdi-s | tag | tel | pes"));
+      opts.str("protocol", "tdi", "tdi | tdi-s | tdi-d | tag | tel | pes"));
   o.blocking =
       opts.str("mode", "nonblocking", "blocking | nonblocking") == "blocking";
   o.rounds = static_cast<int>(opts.integer("rounds", 40, "workload rounds"));
@@ -139,6 +143,14 @@ SimOptions parse_sim_options(int argc, char** argv) {
                                "sim | socket (one OS process per rank)");
   WINDAR_CHECK(net::parse_transport(tname, &o.transport))
       << "unknown transport '" << tname << "'";
+  const std::string ename =
+      opts.str("exec", "auto",
+               "threads | coop | auto (rank execution model; coop "
+               "multiplexes ranks on a fixed worker pool)");
+  WINDAR_CHECK(exec::parse_exec_model(ename, &o.exec_model))
+      << "unknown exec model '" << ename << "'";
+  o.exec_workers = static_cast<int>(
+      opts.integer("exec-workers", 0, "coop worker pool size (0=default)"));
   opts.finish();
   return o;
 }
@@ -233,6 +245,8 @@ int main(int argc, char** argv) {
   cfg.mode = o.blocking ? ft::SendMode::kBlocking : ft::SendMode::kNonBlocking;
   cfg.latency = net::LatencyModel::turbulent();
   cfg.seed = o.seed;
+  cfg.exec_model = o.exec_model;
+  cfg.exec_workers = o.exec_workers;
   cfg.faults = parse_faults(o.fault_spec);
   ft::TraceSink sink;
   if (o.trace || o.dump_trace) cfg.trace = &sink;
@@ -240,16 +254,24 @@ int main(int argc, char** argv) {
   auto workload = make_workload(o);
   ft::FtRankFn fn = [&workload](ft::Ctx& ctx) { workload(ctx); };
 
-  util::Table table({"run", "wall ms", "msgs", "idents/msg", "track us/msg",
-                     "ctrl msgs", "recoveries", "dup", "resent"});
+  util::Table table({"run", "wall ms", "msgs", "idents/msg", "pb B/msg",
+                     "pb ratio", "resyncs", "track us/msg", "ctrl msgs",
+                     "recoveries", "dup", "resent"});
   for (int rep = 0; rep < o.repeat; ++rep) {
     cfg.seed = o.seed + static_cast<std::uint64_t>(rep);
     sink.clear();
     auto result = ft::run_job(cfg, fn);
     const ft::Metrics& m = result.total;
+    const double pb_per_msg =
+        m.app_sent ? static_cast<double>(m.piggyback_bytes_sent) /
+                         static_cast<double>(m.app_sent)
+                   : 0.0;
     table.row({std::to_string(rep), util::fmt_double(result.wall_ms, 1),
                std::to_string(m.app_sent),
                util::fmt_double(m.avg_piggyback_idents(), 2),
+               util::fmt_double(pb_per_msg, 1),
+               util::fmt_double(m.piggyback_compression(), 3),
+               std::to_string(m.piggyback_resyncs),
                util::fmt_double(m.avg_track_us(), 3),
                std::to_string(m.control_msgs),
                std::to_string(m.recoveries), std::to_string(m.dup_dropped),

@@ -8,11 +8,11 @@
 #pragma once
 
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "mp/comm.h"
 #include "util/check.h"
+#include "util/wait.h"
 
 namespace windar::mp {
 
@@ -71,7 +71,7 @@ inline std::size_t wait_any(std::vector<RecvRequest>& reqs) {
       if (reqs[i].test()) return i;
     }
     WINDAR_CHECK(any_pending) << "wait_any: every request already consumed";
-    std::this_thread::yield();
+    util::coop_yield();  // poll loop: must let sibling fibers run
   }
 }
 

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/scheduler.h"
 #include "mp/raw_comm.h"
 #include "net/fabric.h"
 #include "util/clock.h"
@@ -12,29 +13,40 @@
 namespace windar::mp {
 
 RawJobResult run_raw(int n, const RankFn& fn, net::LatencyModel model,
-                     std::uint64_t seed, int fabric_shards) {
+                     std::uint64_t seed, int fabric_shards,
+                     exec::ExecModel exec_model, int exec_workers) {
   net::Fabric fabric(n, model, seed, fabric_shards);
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
   std::exception_ptr first_error;
   std::mutex error_mu;
 
+  auto rank_body = [&](int r) {
+    try {
+      RawComm comm(fabric, r, n);
+      fn(comm);
+    } catch (...) {
+      std::scoped_lock lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+      // A failed rank leaves peers blocked in recv; tear the job down so
+      // the error surfaces instead of hanging.
+      fabric.shutdown();
+    }
+  };
+
   const double t0 = util::now_ms();
-  for (int r = 0; r < n; ++r) {
-    threads.emplace_back([&, r] {
-      try {
-        RawComm comm(fabric, r, n);
-        fn(comm);
-      } catch (...) {
-        std::scoped_lock lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        // A failed rank leaves peers blocked in recv; tear the job down so
-        // the error surfaces instead of hanging.
-        fabric.shutdown();
-      }
-    });
+  if (exec::resolve_exec_model(exec_model) == exec::ExecModel::kCoop) {
+    exec::Scheduler sched(exec_workers);
+    for (int r = 0; r < n; ++r) {
+      sched.spawn([&rank_body, r] { rank_body(r); });
+    }
+    sched.join_all();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      threads.emplace_back([&rank_body, r] { rank_body(r); });
+    }
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
   const double t1 = util::now_ms();
 
   if (first_error) std::rethrow_exception(first_error);

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "exec/scheduler.h"
 #include "mp/comm.h"
 #include "net/latency.h"
 
@@ -20,11 +21,16 @@ struct RawJobResult {
   std::uint64_t bytes = 0;
 };
 
-/// Runs `fn` on `n` rank threads; rethrows the first rank exception after
-/// joining everyone.  `fabric_shards` selects the fabric's scheduler shard
-/// count (0: WINDAR_FABRIC_SHARDS env, else min(4, hardware_concurrency)).
+/// Runs `fn` on `n` ranks; rethrows the first rank exception after joining
+/// everyone.  `fabric_shards` selects the fabric's scheduler shard count
+/// (0: WINDAR_FABRIC_SHARDS env, else min(4, hardware_concurrency)).
+/// Under ExecModel::kCoop the ranks run as cooperative tasks on a fixed
+/// exec::Scheduler pool (`exec_workers` threads; 0 = default), so n can far
+/// exceed the thread budget of the host.
 RawJobResult run_raw(int n, const RankFn& fn,
                      net::LatencyModel model = net::LatencyModel{},
-                     std::uint64_t seed = 1, int fabric_shards = 0);
+                     std::uint64_t seed = 1, int fabric_shards = 0,
+                     exec::ExecModel exec_model = exec::ExecModel::kAuto,
+                     int exec_workers = 0);
 
 }  // namespace windar::mp

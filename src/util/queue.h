@@ -4,15 +4,22 @@
 // and B) are built on this.  `poison()` wakes all waiters and makes further
 // pops fail fast — it is how a fault-injected rank thread is torn down while
 // blocked on its inbox.
+//
+// Waits go through util::WaitSet, so a consumer may be either an OS thread
+// (blocks on the internal condition variable) or a cooperative task on the
+// exec scheduler (parks its fiber; a push from any thread — rank task,
+// fabric shard scheduler, socket reader — unparks it).  Every timed pop is
+// poison-aware: poisoning the queue wakes both kinds of waiter immediately.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "util/wait.h"
 
 namespace windar::util {
 
@@ -65,12 +72,19 @@ class BlockingQueue {
 
   /// Blocks until an item is available, the deadline passes, or the queue is
   /// poisoned.  Returns nullopt on timeout or poison; use `poisoned()` to
-  /// distinguish.
+  /// distinguish.  This is the cooperative layer's workhorse wait: a fiber
+  /// calling it parks instead of blocking its worker, and wakes on push,
+  /// poison, or deadline — whichever lands first.
   std::optional<T> pop_until(Clock::time_point deadline) {
     std::unique_lock lock(mu_);
     cv_.wait_until(lock, deadline,
                    [&] { return poisoned_ || !items_.empty(); });
     return take_locked();
+  }
+
+  /// Convenience relative-deadline form of pop_until.
+  std::optional<T> pop_for(Clock::duration d) {
+    return pop_until(Clock::now() + d);
   }
 
   std::optional<T> try_pop() {
@@ -117,7 +131,7 @@ class BlockingQueue {
   }
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  WaitSet cv_;
   std::deque<T> items_;
   bool poisoned_ = false;
 };

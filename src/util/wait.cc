@@ -1,0 +1,42 @@
+#include "util/wait.h"
+
+#include <thread>
+
+namespace windar::util {
+
+namespace {
+std::atomic<const CoopRuntime*> g_runtime{nullptr};
+}  // namespace
+
+void set_coop_runtime(const CoopRuntime* rt) {
+  g_runtime.store(rt, std::memory_order_release);
+}
+
+const CoopRuntime* coop_runtime() {
+  return g_runtime.load(std::memory_order_acquire);
+}
+
+void coop_yield() {
+  const CoopRuntime* rt = coop_runtime();
+  if (rt == nullptr || !rt->on_task()) {
+    std::this_thread::yield();
+    return;
+  }
+  rt->park_until(std::chrono::steady_clock::now());
+}
+
+void coop_sleep_for(std::chrono::nanoseconds d) {
+  const CoopRuntime* rt = coop_runtime();
+  if (rt == nullptr || !rt->on_task()) {
+    std::this_thread::sleep_for(d);
+    return;
+  }
+  // Parking can return early on a stray unpark; keep sleeping until the
+  // deadline so this has sleep_for semantics, not yield semantics.
+  const auto deadline = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < deadline) {
+    rt->park_until(deadline);
+  }
+}
+
+}  // namespace windar::util

@@ -18,7 +18,6 @@
 // never the reverse.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -30,6 +29,7 @@
 #include "windar/channel_state.h"
 #include "windar/fault.h"
 #include "windar/metrics.h"
+#include "util/wait.h"
 #include "windar/params.h"
 #include "windar/protocol.h"
 
@@ -93,7 +93,11 @@ class DeliveryQueue {
   const bool uses_event_logger_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Hybrid wakeup: the application side may be an OS thread or a cooperative
+  // task; admit/notify come from handler threads or fibers — WaitSet wakes
+  // either kind.  Waits stay bounded by kTick, so the missed-notify story is
+  // unchanged from the condition_variable version.
+  util::WaitSet cv_;
   std::deque<QueuedMsg> queue_;
 
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);

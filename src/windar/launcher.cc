@@ -47,6 +47,7 @@ const char* protocol_token(ProtocolKind k) {
     case ProtocolKind::kTag: return "tag";
     case ProtocolKind::kTel: return "tel";
     case ProtocolKind::kTdiSparse: return "tdi-s";
+    case ProtocolKind::kTdiDelta: return "tdi-d";
     case ProtocolKind::kPes: return "pes";
   }
   return "tdi";
@@ -57,6 +58,7 @@ ProtocolKind parse_protocol_token(const std::string& s) {
   if (s == "tag") return ProtocolKind::kTag;
   if (s == "tel") return ProtocolKind::kTel;
   if (s == "tdi-s" || s == "tdis") return ProtocolKind::kTdiSparse;
+  if (s == "tdi-d" || s == "tdid") return ProtocolKind::kTdiDelta;
   if (s == "pes") return ProtocolKind::kPes;
   WINDAR_CHECK(false) << "unknown protocol '" << s << "'";
   return ProtocolKind::kTdi;

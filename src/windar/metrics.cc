@@ -15,6 +15,9 @@ void Metrics::merge(const Metrics& o) {
   suppressed_sends += o.suppressed_sends;
   piggyback_idents += o.piggyback_idents;
   piggyback_bytes += o.piggyback_bytes;
+  piggyback_bytes_dense += o.piggyback_bytes_dense;
+  piggyback_bytes_sent += o.piggyback_bytes_sent;
+  piggyback_resyncs += o.piggyback_resyncs;
   payload_bytes += o.payload_bytes;
   bytes_copied += o.bytes_copied;
   buffer_allocs += o.buffer_allocs;
@@ -33,15 +36,16 @@ std::string Metrics::summary() const {
   char buf[512];
   std::snprintf(buf, sizeof buf,
                 "sent=%llu delivered=%llu ctrl=%llu dup=%llu resent=%llu "
-                "suppressed=%llu pb_idents/msg=%.2f track_us/msg=%.3f "
-                "ckpt=%llu recov=%llu",
+                "suppressed=%llu pb_idents/msg=%.2f pb_ratio=%.3f "
+                "track_us/msg=%.3f ckpt=%llu recov=%llu",
                 static_cast<unsigned long long>(app_sent),
                 static_cast<unsigned long long>(app_delivered),
                 static_cast<unsigned long long>(control_msgs),
                 static_cast<unsigned long long>(dup_dropped),
                 static_cast<unsigned long long>(resent_msgs),
                 static_cast<unsigned long long>(suppressed_sends),
-                avg_piggyback_idents(), avg_track_us(),
+                avg_piggyback_idents(), piggyback_compression(),
+                avg_track_us(),
                 static_cast<unsigned long long>(checkpoints),
                 static_cast<unsigned long long>(recoveries));
   return buf;

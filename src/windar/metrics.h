@@ -25,6 +25,14 @@ struct Metrics {
   // piggyback overhead (per outgoing app message)
   std::uint64_t piggyback_idents = 0;
   std::uint64_t piggyback_bytes = 0;
+  // Compression pair: what the paper's dense vector would have cost for the
+  // same sends vs what actually went on the wire (== piggyback_bytes; kept
+  // as its own counter so the ratio survives merges with protocols that
+  // don't report a dense equivalent).  piggyback_resyncs counts delta-mode
+  // sends that had no channel base (first send, or first after restore).
+  std::uint64_t piggyback_bytes_dense = 0;
+  std::uint64_t piggyback_bytes_sent = 0;
+  std::uint64_t piggyback_resyncs = 0;
   std::uint64_t payload_bytes = 0;
 
   // zero-copy plane: what the send path actually materialises.  Copy-once
@@ -58,6 +66,14 @@ struct Metrics {
     return app_sent ? static_cast<double>(piggyback_idents) /
                           static_cast<double>(app_sent)
                     : 0.0;
+  }
+  /// Wire bytes as a fraction of the dense-encoding bytes for the same
+  /// sends; 1.0 when nothing was saved (or nothing was sent).
+  double piggyback_compression() const {
+    return piggyback_bytes_dense
+               ? static_cast<double>(piggyback_bytes_sent) /
+                     static_cast<double>(piggyback_bytes_dense)
+               : 1.0;
   }
   /// Average protocol tracking time per application message, microseconds.
   double avg_track_us() const {

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "util/check.h"
+#include "util/wait.h"
 
 namespace windar::ft {
 
@@ -201,10 +202,15 @@ void Process::poison() {
 }
 
 void Process::park(const std::atomic<bool>& all_done) {
+  // Cooperative tasks poll lazily: thousands of parked ranks spinning a 1ms
+  // loop would eat the whole worker pool, and nothing here is
+  // latency-sensitive (the helper fiber keeps serving recovery traffic).
+  const auto tick = util::on_coop_task() ? std::chrono::milliseconds(20)
+                                         : std::chrono::milliseconds(1);
   while (!all_done.load(std::memory_order_acquire)) {
     if (params_.mode == SendMode::kNonBlocking) {
       // The receiver thread keeps serving; just stay alive.
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      util::coop_sleep_for(tick);
       life_.throw_if_dead();
     } else {
       send_path_.pump_once(Clock::now() + std::chrono::milliseconds(1));

@@ -16,6 +16,9 @@ std::unique_ptr<LoggingProtocol> make_protocol(ProtocolKind kind, int rank,
     case ProtocolKind::kTdiSparse:
       return std::make_unique<TdiProtocol>(rank, n,
                                            TdiProtocol::Encoding::kSparse);
+    case ProtocolKind::kTdiDelta:
+      return std::make_unique<TdiProtocol>(rank, n,
+                                           TdiProtocol::Encoding::kDelta);
     case ProtocolKind::kTag:
       return std::make_unique<TagProtocol>(rank, n);
     case ProtocolKind::kTel:

@@ -36,6 +36,14 @@ namespace windar::ft {
 struct Piggyback {
   util::Buffer blob;
   std::uint32_t idents = 0;
+  /// What the paper's dense encoding would have cost for this message, in
+  /// bytes — the denominator of the compression ratio the delta/sparse
+  /// encodings are judged by (metrics piggyback_bytes_dense vs _sent).
+  std::uint32_t dense_bytes = 0;
+  /// True when a delta-encoded protocol had no per-channel base for the
+  /// destination (first send, or first send after restore) and emitted a
+  /// full resync instead of a delta.
+  bool resync = false;
 };
 
 /// A message parked in the receiving queue awaiting delivery.  Both byte

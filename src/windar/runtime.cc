@@ -8,9 +8,11 @@
 #include <mutex>
 #include <thread>
 
+#include "exec/scheduler.h"
 #include "net/fabric.h"
 #include "util/check.h"
 #include "util/clock.h"
+#include "util/wait.h"
 #include "windar/event_logger.h"
 
 namespace windar::ft {
@@ -203,16 +205,17 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
           while (last < revive_target && stalled_polls < 100 &&
                  !all_done.load(std::memory_order_acquire) &&
                  !job_failed.load(std::memory_order_acquire)) {
-            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            util::coop_sleep_for(std::chrono::microseconds(200));
             const std::uint64_t now = fabric.stats().packets_delivered;
             stalled_polls = now == last ? stalled_polls + 1 : 0;
             last = now;
           }
         } else {
           // Failure detection + spare-node takeover latency.
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(
-                  config.restart_delay_ms));
+          util::coop_sleep_for(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::duration<double, std::milli>(
+                      config.restart_delay_ms)));
         }
         if (job_failed.load(std::memory_order_acquire)) return;
         recovering = true;
@@ -237,10 +240,24 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
 
   const double t0 = util::now_ms();
 
+  // Supervisors: OS threads in the seed model, cooperative tasks on a fixed
+  // worker pool under kCoop.  The injector and watchdog below stay plain
+  // threads in both modes — they only poke atomics, locks, and WaitSets,
+  // all of which are fiber-wakeup-safe from foreign threads.
+  const bool coop =
+      exec::resolve_exec_model(config.exec_model) == exec::ExecModel::kCoop;
+  std::optional<exec::Scheduler> sched;
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(config.n) + 1);
-  for (int r = 0; r < config.n; ++r) {
-    threads.emplace_back(supervisor, r);
+  if (coop) {
+    sched.emplace(config.exec_workers);
+    for (int r = 0; r < config.n; ++r) {
+      sched->spawn([&supervisor, r] { supervisor(r); });
+    }
+  } else {
+    threads.reserve(static_cast<std::size_t>(config.n));
+    for (int r = 0; r < config.n; ++r) {
+      threads.emplace_back(supervisor, r);
+    }
   }
 
   // Stall watchdog (diagnostics): with WINDAR_STALL_DUMP_MS=<n> set, dump
@@ -291,7 +308,11 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
     }
   });
 
-  for (auto& t : threads) t.join();
+  if (coop) {
+    sched->join_all();
+  } else {
+    for (auto& t : threads) t.join();
+  }
   all_done.store(true, std::memory_order_release);
   injector.join();
   watchdog_stop.store(true, std::memory_order_release);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/scheduler.h"
 #include "mp/comm.h"
 #include "net/latency.h"
 #include "windar/checkpoint.h"
@@ -47,6 +48,14 @@ struct JobConfig {
   // WINDAR_FABRIC_SHARDS if set, else min(4, hardware_concurrency).  Use 1
   // for tests that need the single-scheduler global delivery order.
   int fabric_shards = 0;
+  // Supervisor execution model.  kThreads: one OS thread per rank (seed
+  // behaviour).  kCoop: rank supervisors run as cooperative tasks on a fixed
+  // exec::Scheduler pool of `exec_workers` threads (0 = default), and the
+  // engine's helper loops run as fibers too — total thread count is bounded
+  // by the pool, not by n, which is what lets a 4096-rank job run on 4
+  // cores.  kAuto defers to the WINDAR_EXEC environment variable.
+  exec::ExecModel exec_model = exec::ExecModel::kAuto;
+  int exec_workers = 0;
   std::vector<FaultEvent> faults;
   // Event-keyed fault schedule (see fault.h helpers: kill_on_delivery,
   // kill_on_send, duplicate_on_send, delay_on_send).  Kill events whose

@@ -23,6 +23,16 @@ SendPath::~SendPath() { stop(); }
 
 void SendPath::start() {
   if (params_.mode != SendMode::kNonBlocking) return;
+  if (exec::Scheduler* sched =
+          exec::Scheduler::on_task() ? exec::Scheduler::current() : nullptr) {
+    // Cooperative mode: the engine was constructed on a rank task, so its
+    // helpers become sibling fibers on the same worker pool.
+    recv_task_ = sched->spawn([this] { recv_loop(); });
+    if (params_.sender_thread) {
+      send_task_ = sched->spawn([this] { send_loop(); });
+    }
+    return;
+  }
   recv_thread_ = std::thread([this] { recv_loop(); });
   if (params_.sender_thread) {
     send_thread_ = std::thread([this] { send_loop(); });
@@ -38,6 +48,10 @@ void SendPath::stop() {
   if (cb_.wake) cb_.wake();
   if (recv_thread_.joinable()) recv_thread_.join();
   if (send_thread_.joinable()) send_thread_.join();
+  if (recv_task_.valid()) recv_task_.join();
+  if (send_task_.valid()) send_task_.join();
+  recv_task_ = exec::TaskHandle{};
+  send_task_ = exec::TaskHandle{};
 }
 
 void SendPath::poison() { queue_a_.poison(); }
@@ -97,6 +111,9 @@ void SendPath::send_app(int dst, int tag,
     ++m.app_sent;
     m.piggyback_idents += pb.idents;
     m.piggyback_bytes += p.meta.size();
+    m.piggyback_bytes_dense += pb.dense_bytes;
+    m.piggyback_bytes_sent += p.meta.size();
+    if (pb.resync) ++m.piggyback_resyncs;
     m.payload_bytes += payload.size();
     m.bytes_copied += payload.size();
     m.buffer_allocs += send_allocs;

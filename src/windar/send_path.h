@@ -26,6 +26,7 @@
 #include <span>
 #include <thread>
 
+#include "exec/scheduler.h"
 #include "net/transport.h"
 #include "windar/channel_state.h"
 #include "windar/fault.h"
@@ -62,11 +63,14 @@ class SendPath {
 
   void set_callbacks(Callbacks cb) { cb_ = std::move(cb); }
 
-  /// Spawns the receiver (and optional sender) thread in non-blocking mode.
-  /// Called once the whole engine is wired; no-op for blocking mode.
+  /// Spawns the receiver (and optional sender) helper in non-blocking mode.
+  /// Called once the whole engine is wired; no-op for blocking mode.  When
+  /// the caller is itself a cooperative task (a rank supervisor under
+  /// ExecModel::kCoop), the helpers are spawned as fibers on the same
+  /// scheduler instead of OS threads, so per-rank thread cost stays zero.
   void start();
 
-  /// Stops and joins the helper threads (destructor path).
+  /// Stops and joins the helper threads/fibers (destructor path).
   void stop();
 
   /// Fault injection: releases a sender thread blocked on queue A.
@@ -103,6 +107,8 @@ class SendPath {
   util::BlockingQueue<net::Packet> queue_a_;  // outgoing (paper's queue A)
   std::thread recv_thread_;
   std::thread send_thread_;
+  exec::TaskHandle recv_task_;  // fiber-mode counterparts of the threads
+  exec::TaskHandle send_task_;
 
   static constexpr std::chrono::microseconds kTick{2000};
 };

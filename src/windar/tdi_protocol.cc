@@ -6,10 +6,13 @@ namespace windar::ft {
 
 namespace {
 
-// Sparse blobs tag the leading count word with this bit; dense blobs carry
-// the plain element count (always < 2^31), so the two forms are
-// distinguishable on the wire.
+// Non-dense blobs tag the leading count word; dense blobs carry the plain
+// element count (always < 2^30), so all three forms are distinguishable on
+// the wire.  Sparse and delta share the (index, value) pair layout — they
+// differ only in what an absent entry means to the *tracking* merge (zero vs
+// no-information), and the merge treats both as a no-op.
 constexpr std::uint32_t kSparseMarker = 0x80000000u;
+constexpr std::uint32_t kDeltaMarker = 0x40000000u;
 
 std::uint32_t read_u32_at(std::span<const std::uint8_t> meta,
                           std::size_t off) {
@@ -25,55 +28,111 @@ std::uint32_t read_u32_at(std::span<const std::uint8_t> meta,
 TdiProtocol::TdiProtocol(int rank, int n, Encoding encoding)
     : LoggingProtocol(rank, n),
       encoding_(encoding),
-      depend_interval_(static_cast<std::size_t>(n), 0) {}
+      depend_interval_(static_cast<std::size_t>(n), 0) {
+  if (encoding_ == Encoding::kDelta) {
+    entry_tick_.assign(static_cast<std::size_t>(n), 0);
+    sent_tick_.assign(static_cast<std::size_t>(n), 0);
+  }
+}
 
 Piggyback TdiProtocol::on_send(int dst, SeqNo send_index) {
-  (void)dst;
   (void)send_index;
   // The outgoing message depends on exactly the sender's current state
   // interval, described by the whole vector (Algorithm 1 line 11).
   util::ByteWriter w;
+  const std::uint32_t dense_bytes = 4 + 4 * static_cast<std::uint32_t>(n_);
   if (encoding_ == Encoding::kDense) {
     w.u32_vec(depend_interval_);
     // One identifier per vector element; this is the paper's example where
     // a 4-process system piggybacks 4 identifiers per message.
-    return Piggyback{w.take(), static_cast<std::uint32_t>(n_)};
+    return Piggyback{w.take(), static_cast<std::uint32_t>(n_), dense_bytes};
   }
-  // Sparse: (index, value) pairs for the non-zero entries only.
-  std::uint32_t nnz = 0;
-  for (SeqNo v : depend_interval_) {
-    if (v != 0) ++nnz;
+
+  if (encoding_ == Encoding::kSparse) {
+    // Sparse: (index, value) pairs for the non-zero entries only.
+    std::uint32_t nnz = 0;
+    for (SeqNo v : depend_interval_) {
+      if (v != 0) ++nnz;
+    }
+    w.u32(kSparseMarker | nnz);
+    for (int k = 0; k < n_; ++k) {
+      const SeqNo v = depend_interval_[static_cast<std::size_t>(k)];
+      if (v != 0) {
+        w.u32(static_cast<std::uint32_t>(k));
+        w.u32(v);
+      }
+    }
+    // One identifier per tracked interval entry, matching the dense path's
+    // accounting (Fig. 6 compares identifier counts; the index half of each
+    // pair is encoding overhead, visible in piggyback_bytes, not an extra
+    // identifier).
+    return Piggyback{w.take(), nnz, dense_bytes};
   }
-  w.u32(kSparseMarker | nnz);
+
+  // Delta: entries that changed since the last send on this channel, plus
+  // the receiver's gate entry (deliverable() reads it from this message's
+  // blob alone).  Zero-valued entries are omitted even when "changed" — the
+  // receiver's merge is max-only, so a zero can never carry information.
+  // sent_tick_[dst] == 0 means no valid base (first send on the channel, or
+  // first since restore()); entries then count as changed wholesale, which
+  // makes the message a full resync.
+  const std::size_t d = static_cast<std::size_t>(dst);
+  const std::uint64_t base = sent_tick_[d];
+  const bool resync = base == 0;
+  std::uint32_t npairs = 0;
   for (int k = 0; k < n_; ++k) {
-    const SeqNo v = depend_interval_[static_cast<std::size_t>(k)];
-    if (v != 0) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    if (depend_interval_[sk] != 0 &&
+        (entry_tick_[sk] > base || k == dst)) {
+      ++npairs;
+    }
+  }
+  if (8u * npairs >= 4u * static_cast<std::uint32_t>(n_)) {
+    // Pair form would be no smaller than the paper's dense vector: fall back
+    // (the blob is self-describing, so the receiver doesn't care).
+    w.u32_vec(depend_interval_);
+    sent_tick_[d] = tick_;  // dense carries everything up to now
+    Piggyback pb{w.take(), static_cast<std::uint32_t>(n_), dense_bytes};
+    pb.resync = resync;
+    return pb;
+  }
+  w.u32(kDeltaMarker | npairs);
+  for (int k = 0; k < n_; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    const SeqNo v = depend_interval_[sk];
+    if (v != 0 && (entry_tick_[sk] > base || k == dst)) {
       w.u32(static_cast<std::uint32_t>(k));
       w.u32(v);
     }
   }
-  // One identifier per tracked interval entry, matching the dense path's
-  // accounting (Fig. 6 compares identifier counts; the index half of each
-  // pair is encoding overhead, visible in piggyback_bytes, not an extra
-  // identifier).
-  return Piggyback{w.take(), nnz};
+  // Every change up to tick_ is now conveyed on this channel (directly, or
+  // by an earlier message it chains from); later touches stamp a strictly
+  // greater tick.  Note tick_ stays 0 until the first mutation, so an
+  // all-zero vector keeps base == 0 — harmless, since its "resync" is empty.
+  sent_tick_[d] = tick_;
+  Piggyback pb{w.take(), npairs, dense_bytes};
+  pb.resync = resync;
+  return pb;
 }
 
 SeqNo TdiProtocol::piggybacked_element(std::span<const std::uint8_t> meta,
                                        int element) {
   const std::uint32_t head = read_u32_at(meta, 0);
-  if ((head & kSparseMarker) == 0) {
+  if ((head & (kSparseMarker | kDeltaMarker)) == 0) {
     // Dense layout: u32 count, then count u32 values.
     return read_u32_at(meta, 4 + 4 * static_cast<std::size_t>(element));
   }
-  const std::uint32_t nnz = head & ~kSparseMarker;
-  for (std::uint32_t i = 0; i < nnz; ++i) {
+  const std::uint32_t npairs = head & ~(kSparseMarker | kDeltaMarker);
+  for (std::uint32_t i = 0; i < npairs; ++i) {
     const std::size_t off = 4 + 8 * static_cast<std::size_t>(i);
     if (read_u32_at(meta, off) == static_cast<std::uint32_t>(element)) {
       return read_u32_at(meta, off + 4);
     }
   }
-  return 0;  // absent entry == zero dependency
+  // Sparse: absent == zero.  Delta: absent == unchanged-since-channel-base,
+  // already merged from an earlier message — for gating and merging both
+  // read as "no constraint / no news", i.e. zero.
+  return 0;
 }
 
 std::vector<SeqNo> TdiProtocol::decode(std::span<const std::uint8_t> meta,
@@ -81,15 +140,15 @@ std::vector<SeqNo> TdiProtocol::decode(std::span<const std::uint8_t> meta,
   util::ByteReader r(meta);
   const std::uint32_t head = r.u32();
   std::vector<SeqNo> out(static_cast<std::size_t>(n), 0);
-  if ((head & kSparseMarker) == 0) {
+  if ((head & (kSparseMarker | kDeltaMarker)) == 0) {
     WINDAR_CHECK_EQ(head, static_cast<std::uint32_t>(n))
         << "depend_interval width mismatch";
     for (auto& v : out) v = r.u32();
   } else {
-    const std::uint32_t nnz = head & ~kSparseMarker;
-    for (std::uint32_t i = 0; i < nnz; ++i) {
+    const std::uint32_t npairs = head & ~(kSparseMarker | kDeltaMarker);
+    for (std::uint32_t i = 0; i < npairs; ++i) {
       const std::uint32_t idx = r.u32();
-      WINDAR_CHECK_LT(idx, static_cast<std::uint32_t>(n)) << "bad sparse idx";
+      WINDAR_CHECK_LT(idx, static_cast<std::uint32_t>(n)) << "bad pair idx";
       out[idx] = r.u32();
     }
   }
@@ -106,13 +165,20 @@ void TdiProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
   (void)src;
   (void)send_index;
   const std::vector<SeqNo> piggybacked = decode(meta, n_);
+  const bool delta = encoding_ == Encoding::kDelta;
   // Lines 20, 22-24: advance own interval, merge the rest element-wise max.
+  // For sparse/delta metas absent entries decoded to 0, which max-merge
+  // ignores — exactly the "no news" reading those encodings rely on.
   depend_interval_[static_cast<std::size_t>(rank_)] = deliver_seq;
+  if (delta) touch(static_cast<std::size_t>(rank_));
   for (int k = 0; k < n_; ++k) {
     if (k == rank_) continue;
     auto& mine = depend_interval_[static_cast<std::size_t>(k)];
     const SeqNo theirs = piggybacked[static_cast<std::size_t>(k)];
-    if (theirs > mine) mine = theirs;
+    if (theirs > mine) {
+      mine = theirs;
+      if (delta) touch(static_cast<std::size_t>(k));
+    }
   }
 }
 
@@ -124,6 +190,15 @@ void TdiProtocol::restore(util::ByteReader& r) {
   depend_interval_ = r.u32_vec();
   WINDAR_CHECK_EQ(depend_interval_.size(), static_cast<std::size_t>(n_))
       << "restored depend_interval width mismatch";
+  if (encoding_ == Encoding::kDelta) {
+    // The vector may have moved BACKWARDS (rollback), so every per-channel
+    // base is invalid: receivers may hold merges of values we no longer
+    // have.  Mark everything changed and drop all bases — the next send on
+    // each channel is a full resync, never a delta against pre-crash state.
+    const std::uint64_t t = ++tick_;
+    for (auto& et : entry_tick_) et = t;
+    for (auto& st : sent_tick_) st = 0;
+  }
 }
 
 }  // namespace windar::ft

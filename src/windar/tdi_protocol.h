@@ -29,13 +29,28 @@ class TdiProtocol final : public LoggingProtocol {
   ///             (2 identifiers each).  On sparse communication graphs most
   ///             entries stay zero, so piggyback drops below n; semantics
   ///             are unchanged (missing entries read as zero).
-  enum class Encoding { kDense, kSparse };
+  ///   kDelta  — extension: only entries that CHANGED since the last send on
+  ///             the same (sender, dst) channel, as (index, value) pairs,
+  ///             plus always the receiver's gate entry (index dst).  Per-pair
+  ///             FIFO delivery (Algorithm 1 line 19) guarantees the receiver
+  ///             merged every omitted entry from an earlier message on the
+  ///             channel, and entries are monotone outside restore, so
+  ///             max-merging just the pairs present is equivalent to the
+  ///             dense merge.  The first send on a channel — and every first
+  ///             send after restore(), when the vector may have moved
+  ///             backwards — is a full resync (all non-zero entries).  Falls
+  ///             back to dense whenever the pair form would be no smaller.
+  enum class Encoding { kDense, kSparse, kDelta };
 
   TdiProtocol(int rank, int n, Encoding encoding = Encoding::kDense);
 
   ProtocolKind kind() const override {
-    return encoding_ == Encoding::kDense ? ProtocolKind::kTdi
-                                         : ProtocolKind::kTdiSparse;
+    switch (encoding_) {
+      case Encoding::kDense: return ProtocolKind::kTdi;
+      case Encoding::kSparse: return ProtocolKind::kTdiSparse;
+      case Encoding::kDelta: return ProtocolKind::kTdiDelta;
+    }
+    return ProtocolKind::kTdi;
   }
 
   Piggyback on_send(int dst, SeqNo send_index) override;
@@ -66,8 +81,22 @@ class TdiProtocol final : public LoggingProtocol {
   static std::vector<SeqNo> decode(std::span<const std::uint8_t> meta, int n);
 
  private:
+  void touch(std::size_t entry) { entry_tick_[entry] = ++tick_; }
+
   Encoding encoding_;
   std::vector<SeqNo> depend_interval_;
+
+  // Delta-encoding change tracking (kDelta only; empty otherwise).  `tick_`
+  // is a mutation counter; every vector mutation stamps the entry with a
+  // fresh tick (entry_tick_[k]); sent_tick_[dst] is the tick_ value as of
+  // the last send to dst (0 = no valid base yet: nothing sent on the
+  // channel, or the vector was restored since).  A send to dst carries
+  // exactly the non-zero entries with entry_tick_ > sent_tick_[dst], plus
+  // the receiver's gate entry.  O(n) scan per send, O(n) words per rank —
+  // the wire is where O(n) hurt.
+  std::uint64_t tick_ = 0;
+  std::vector<std::uint64_t> entry_tick_;
+  std::vector<std::uint64_t> sent_tick_;
 };
 
 }  // namespace windar::ft

@@ -44,6 +44,10 @@ enum class ProtocolKind {
                // graphs (halo exchanges, rings)
   kPes,        // baseline: pessimistic synchronous event logging — zero
                // piggyback, a stable-storage round trip on every delivery
+  kTdiDelta,   // extension: TDI with per-channel delta encoding — piggybacks
+               // only the entries that changed since the last send on the
+               // same (sender, receiver) channel, plus the receiver's gate
+               // entry; O(churn) instead of O(n) per message
 };
 
 enum class SendMode {
@@ -58,6 +62,7 @@ inline std::string to_string(ProtocolKind k) {
     case ProtocolKind::kTel: return "TEL";
     case ProtocolKind::kTdiSparse: return "TDI-S";
     case ProtocolKind::kPes: return "PES";
+    case ProtocolKind::kTdiDelta: return "TDI-D";
   }
   return "?";
 }

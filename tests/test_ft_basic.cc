@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "mp/collectives.h"
+#include "util/wait.h"
 #include "windar/runtime.h"
 
 namespace windar::ft {
@@ -110,7 +111,7 @@ TEST(FtBasic, TelLoggerReceivesDeterminants) {
                         [](Ctx& ctx) {
                           ring_app(ctx);
                           // Give the async flush a chance before returning.
-                          std::this_thread::sleep_for(
+                          util::coop_sleep_for(
                               std::chrono::milliseconds(10));
                         });
   EXPECT_GT(result.logger_batches, 0u);
@@ -129,7 +130,7 @@ TEST(FtBasic, CheckpointAdvanceReleasesLogs) {
                 // Wait for the peer's CHECKPOINT_ADVANCE to arrive and GC.
                 for (int spin = 0;
                      spin < 200 && ctx.process().log_entries() > 0; ++spin) {
-                  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                  util::coop_sleep_for(std::chrono::milliseconds(1));
                 }
                 EXPECT_EQ(ctx.process().log_entries(), 0u);
               });

@@ -39,6 +39,53 @@ TEST(BlockingQueue, PopUntilTimesOut) {
   EXPECT_FALSE(q.poisoned());
 }
 
+TEST(BlockingQueue, PopForTimesOutThenDelivers) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.pop_for(10ms).has_value());
+  ASSERT_TRUE(q.push(9));
+  EXPECT_EQ(q.pop_for(10ms), 9);
+}
+
+TEST(BlockingQueue, PoisonDuringTimedWaitReturnsImmediately) {
+  BlockingQueue<int> q;
+  std::thread killer([&] {
+    std::this_thread::sleep_for(10ms);
+    q.poison();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  // Deadline far out: only the poison can end this wait early.
+  EXPECT_FALSE(q.pop_until(t0 + 5s).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1s);
+  EXPECT_TRUE(q.poisoned());
+  killer.join();
+}
+
+TEST(BlockingQueue, WakeupWithoutItemDoesNotEndTimedWaitEarly) {
+  // Two timed waiters, one item: the push wakes both (directly or via a
+  // spurious wakeup), but the loser must re-check the predicate and keep
+  // waiting until its deadline instead of returning empty early.
+  BlockingQueue<int> q;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + 100ms;
+  int got = 0;
+  std::atomic<bool> empty_before_deadline{false};
+  auto waiter = [&] {
+    auto v = q.pop_until(deadline);
+    if (v) {
+      ++got;  // threads can't both get the single item (joined before reads)
+    } else if (std::chrono::steady_clock::now() < deadline - 5ms) {
+      empty_before_deadline = true;
+    }
+  };
+  std::thread a(waiter), b(waiter);
+  std::this_thread::sleep_for(10ms);
+  ASSERT_TRUE(q.push(1));
+  a.join();
+  b.join();
+  EXPECT_EQ(got, 1);
+  EXPECT_FALSE(empty_before_deadline.load());
+}
+
 TEST(BlockingQueue, PopWakesOnPush) {
   BlockingQueue<int> q;
   std::thread producer([&] {

@@ -15,7 +15,7 @@ TEST(Probe, RawTransportSeesArrivedMessages) {
       send_value(c, 1, 7, 42);
     } else {
       // Spin until the message lands; probe never blocks.
-      while (!c.probe(0, 7)) std::this_thread::yield();
+      while (!c.probe(0, 7)) util::coop_yield();
       EXPECT_TRUE(c.probe());                 // wildcard also matches
       EXPECT_FALSE(c.probe(0, 99));           // wrong tag
       EXPECT_EQ(recv_value<int>(c, 0, 7), 42);
@@ -32,7 +32,7 @@ TEST(Probe, FtTransportRespectsDeliveryGate) {
     if (ctx.rank() == 0) {
       send_value(ctx, 1, 3, 9);
     } else {
-      while (!ctx.probe(0, 3)) std::this_thread::yield();
+      while (!ctx.probe(0, 3)) util::coop_yield();
       EXPECT_EQ(recv_value<int>(ctx, 0, 3), 9);
       EXPECT_FALSE(ctx.probe(0, 3));
     }
@@ -42,12 +42,12 @@ TEST(Probe, FtTransportRespectsDeliveryGate) {
 TEST(Request, TestThenWait) {
   run_raw(2, [](Comm& c) {
     if (c.rank() == 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      util::coop_sleep_for(std::chrono::milliseconds(5));
       send_value(c, 1, 1, 5);
     } else {
       RecvRequest req = irecv(c, 0, 1);
       // May need several polls while the message is in flight.
-      while (!req.test()) std::this_thread::yield();
+      while (!req.test()) util::coop_yield();
       Message m = req.wait();
       EXPECT_EQ(util::from_bytes<int>(m.payload), 5);
       EXPECT_TRUE(req.completed());
@@ -114,7 +114,7 @@ TEST(Request, OverlapComputeWithHaloExchange) {
       volatile double sink = 0;
       for (int k = 0; k < 1000; ++k) sink = sink + k * 1e-9;
       acc += util::from_bytes<double>(req.wait().payload);
-      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      util::coop_sleep_for(std::chrono::microseconds(300));
     }
     // Identical on both ranks' trajectories regardless of the fault.
     double expect = 0;
