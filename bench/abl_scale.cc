@@ -51,9 +51,14 @@ int main(int argc, char** argv) {
       opts.str("protocols", "tdi,tag,tel",
                "comma list: tdi | tdi-s | tdi-d | tag | tel | pes"));
   const int det_cap = static_cast<int>(
-      opts.integer("det-rank-cap", 64,
+      opts.integer("det-rank-cap", 128,
                    "skip determinant protocols (tag/tel/pes) above this rank "
-                   "count (TAG's knowledge bitmask tops out at 64)"));
+                   "count (no hard limit since the dynamic knowledge bitset; "
+                   "purely a wall-clock guard — their piggyback grows with "
+                   "scale AND traffic)"));
+  const int logger_shards = static_cast<int>(
+      opts.integer("logger-shards", 0,
+                   "TEL/PES event-logger shards (0 = env/default)"));
   exec::ExecModel exec_model = exec::ExecModel::kAuto;
   const std::string ename =
       opts.str("exec", "auto", "threads | coop | auto (rank execution model)");
@@ -83,6 +88,7 @@ int main(int argc, char** argv) {
       cfg.protocol = proto;
       cfg.latency = bench_latency();
       cfg.exec_model = exec_model;
+      cfg.logger_shards = logger_shards;
       auto result =
           ft::run_job(cfg, [&](ft::Ctx& ctx) { ring_shuffle_app(ctx, rounds); });
       const ft::Metrics& m = result.total;
@@ -110,6 +116,13 @@ int main(int argc, char** argv) {
           .field("piggyback_bytes_sent", m.piggyback_bytes_sent)
           .field("piggyback_ratio", m.piggyback_compression())
           .field("piggyback_resyncs", m.piggyback_resyncs)
+          // Per-send protocol time (vector merge + piggyback encode): the
+          // figure that must stay flat in n for TDI-D now that delta
+          // tracking is O(churn), not O(n).
+          .field("track_send_ns_per_msg",
+                 m.app_sent ? static_cast<double>(m.track_send_ns) /
+                                  static_cast<double>(m.app_sent)
+                            : 0.0)
           .field("recoveries", m.recoveries)
           .end_row();
     }

@@ -4,6 +4,7 @@
 //
 //   chaos_soak [--schedules=50] [--seed0=1000] [--protocols=tdi,tag,tel]
 //              [--replay=SEED] [--timeout-ms=30000] [--transport=sim|socket]
+//              [--logger-shards=N] [--exec=threads|coop|auto]
 //
 // Every schedule is a pure function of its seed (windar::ft::make_chaos_plan),
 // so a failure is replayed from the printed seed alone:
@@ -48,6 +49,8 @@ struct Options {
   std::uint64_t replay = 0;  // 0: sweep mode
   double timeout_ms = 30000;
   net::TransportKind transport = net::default_transport();
+  int logger_shards = 0;  // TEL/PES logger shards (0 = env/default)
+  exec::ExecModel exec_model = exec::ExecModel::kAuto;
 };
 
 ProtocolKind parse_protocol(const std::string& s) {
@@ -76,6 +79,13 @@ Options parse_args(int argc, char** argv) {
       opt.replay = std::strtoull(value("--replay="), nullptr, 10);
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       opt.timeout_ms = std::atof(value("--timeout-ms="));
+    } else if (arg.rfind("--logger-shards=", 0) == 0) {
+      opt.logger_shards = std::atoi(value("--logger-shards="));
+    } else if (arg.rfind("--exec=", 0) == 0) {
+      if (!exec::parse_exec_model(value("--exec="), &opt.exec_model)) {
+        std::fprintf(stderr, "unknown exec model '%s'\n", value("--exec="));
+        std::exit(2);
+      }
     } else if (arg.rfind("--transport=", 0) == 0) {
       if (!net::parse_transport(value("--transport="), &opt.transport)) {
         std::fprintf(stderr, "unknown transport '%s'\n",
@@ -166,9 +176,10 @@ int soak_worker_main(int argc, char** argv) {
 
 // One faulty schedule as real processes with real SIGKILLs.
 MultiProcResult run_plan_multiproc(const ChaosPlan& plan, ProtocolKind proto,
-                                   double timeout_ms) {
+                                   double timeout_ms, int logger_shards) {
   LaunchSpec spec;
-  spec.job = ft::chaos::plan_config(plan, proto, /*with_faults=*/true);
+  spec.job = ft::chaos::plan_config(plan, proto, /*with_faults=*/true,
+                                    logger_shards);
   spec.worker_args = {"--iters=" + std::to_string(plan.iterations),
                       "--ckpt=" + std::to_string(plan.checkpoint_every)};
   spec.timeout_ms = timeout_ms;
@@ -201,7 +212,9 @@ int main(int argc, char** argv) {
       // The clean baseline is always computed in-process: the digest is a
       // pure function of the delivered values, identical on either backend,
       // and the simulated run is far cheaper than n fault-free processes.
-      const auto clean = ft::chaos::run_plan(plan, proto, false);
+      const auto clean = ft::chaos::run_plan(plan, proto, false,
+                                             opt.logger_shards,
+                                             opt.exec_model);
       std::uint64_t faulty_digest = 0;
       std::uint64_t triggers = 0;
       std::uint64_t recoveries = 0;
@@ -209,14 +222,17 @@ int main(int argc, char** argv) {
       bool run_ok = true;
       std::string run_error;
       if (socket) {
-        const auto faulty = run_plan_multiproc(plan, proto, opt.timeout_ms);
+        const auto faulty =
+            run_plan_multiproc(plan, proto, opt.timeout_ms, opt.logger_shards);
         faulty_digest = faulty.digest;
         triggers = faulty.chaos_triggers_fired;
         recoveries = faulty.recoveries;
         run_ok = faulty.ok;
         run_error = faulty.error;
       } else {
-        const auto faulty = ft::chaos::run_plan(plan, proto, true);
+        const auto faulty = ft::chaos::run_plan(plan, proto, true,
+                                                opt.logger_shards,
+                                                opt.exec_model);
         faulty_digest = faulty.digest;
         triggers = faulty.result.chaos_triggers_fired;
         recoveries = faulty.result.total.recoveries;

@@ -39,6 +39,7 @@ struct NpbJob {
   std::vector<ft::FaultEvent> faults;
   std::uint64_t seed = 1;
   exec::ExecModel exec_model = exec::ExecModel::kAuto;
+  int logger_shards = 0;  // TEL/PES event-logger shards; 0 = env/default
 };
 
 struct NpbOutcome {
@@ -57,6 +58,7 @@ inline NpbOutcome run_npb_job(const NpbJob& job) {
   cfg.seed = job.seed;
   cfg.exec_model = job.exec_model;
   cfg.faults = job.faults;
+  cfg.logger_shards = job.logger_shards;
   cfg.restart_delay_ms = 5;
   auto checksum = std::make_shared<std::atomic<double>>(0.0);
   NpbOutcome out;
@@ -94,6 +96,12 @@ inline const std::vector<ft::ProtocolKind>& tdi_family() {
 inline bool determinant_based(ft::ProtocolKind p) {
   return p == ft::ProtocolKind::kTag || p == ft::ProtocolKind::kTel ||
          p == ft::ProtocolKind::kPes;
+}
+
+/// True for protocols that talk to the event logger — the ones a
+/// --logger-shards sweep actually varies.
+inline bool uses_logger(ft::ProtocolKind p) {
+  return p == ft::ProtocolKind::kTel || p == ft::ProtocolKind::kPes;
 }
 
 inline ft::ProtocolKind parse_protocol_name(const std::string& s) {

@@ -11,7 +11,13 @@
 // encodings against the same dense baseline: "pb ratio" is wire bytes over
 // what the dense vector would have cost for the same sends.
 //
-//   ./fig6_piggyback [--ranks=4,8,16,32] [--scale=1.0] [--csv] [--json=F]
+// The --logger-shards sweep adds sharded-event-logger columns: TEL/PES rerun
+// at each shard count (other protocols don't touch the logger and run once),
+// showing the single-logger commit serialization — the Fig. 6 TEL-above-TAG
+// anomaly — disappear at >= 2 shards.
+//
+//   ./fig6_piggyback [--ranks=4,8,16,32] [--scale=1.0] [--logger-shards=1]
+//                    [--csv] [--json=BENCH_logger.json]
 #include "bench/common.h"
 
 using namespace windar;
@@ -21,6 +27,9 @@ int main(int argc, char** argv) {
   util::Options opts(argc, argv);
   const auto ranks = opts.int_list("ranks", {4, 8, 16, 32}, "rank sweep");
   const double scale = opts.real("scale", 1.0, "iteration scale factor");
+  const auto shard_list = opts.int_list(
+      "logger-shards", {1},
+      "event-logger shard sweep (TEL/PES rerun per value; others run once)");
   const auto protocols = parse_protocol_list(
       opts.str("protocols", "tdi,tdi-s,tdi-d,tag,tel",
                "comma list: tdi | tdi-s | tdi-d | tag | tel | pes"));
@@ -34,40 +43,53 @@ int main(int argc, char** argv) {
   const bool csv = opts.flag("csv", false, "also print CSV");
   opts.finish();
 
-  util::Table table({"app", "ranks", "protocol", "msgs",
+  util::Table table({"app", "ranks", "protocol", "shards", "msgs",
                      "piggyback idents/msg", "piggyback bytes/msg",
-                     "pb ratio", "logger msgs"});
+                     "pb ratio", "logger msgs", "commit rounds", "acks"});
   JsonRows json;
 
   for (auto app : all_apps()) {
     for (int n : ranks) {
       for (auto proto : protocols) {
-        NpbJob job;
-        job.app = app;
-        job.ranks = n;
-        job.protocol = proto;
-        job.scale = scale;
-        job.exec_model = exec_model;
-        const NpbOutcome out = run_npb_job(job);
-        const ft::Metrics& m = out.result.total;
-        const double bytes_per_msg =
-            m.app_sent ? static_cast<double>(m.piggyback_bytes) /
-                             static_cast<double>(m.app_sent)
-                       : 0.0;
-        table.row({std::string(to_string(app)), std::to_string(n),
-                   to_string(proto), std::to_string(m.app_sent),
-                   fmt(m.avg_piggyback_idents()), fmt(bytes_per_msg),
-                   fmt(m.piggyback_compression(), 3),
-                   std::to_string(out.result.logger_batches)});
-        json.field("app", std::string(to_string(app)))
-            .field("ranks", n)
-            .field("protocol", std::string(to_string(proto)))
-            .field("msgs", m.app_sent)
-            .field("piggyback_idents_per_msg", m.avg_piggyback_idents())
-            .field("piggyback_bytes_per_msg", bytes_per_msg)
-            .field("piggyback_ratio", m.piggyback_compression())
-            .field("logger_msgs", out.result.logger_batches)
-            .end_row();
+        for (std::size_t si = 0; si < shard_list.size(); ++si) {
+          // Protocols that never talk to the logger produce the same row at
+          // every shard count: run them once, at the first value.
+          if (si > 0 && !uses_logger(proto)) continue;
+          const int shards = shard_list[si];
+          NpbJob job;
+          job.app = app;
+          job.ranks = n;
+          job.protocol = proto;
+          job.scale = scale;
+          job.exec_model = exec_model;
+          job.logger_shards = shards;
+          const NpbOutcome out = run_npb_job(job);
+          const ft::Metrics& m = out.result.total;
+          const double bytes_per_msg =
+              m.app_sent ? static_cast<double>(m.piggyback_bytes) /
+                               static_cast<double>(m.app_sent)
+                         : 0.0;
+          table.row({std::string(to_string(app)), std::to_string(n),
+                     to_string(proto),
+                     uses_logger(proto) ? std::to_string(shards) : "-",
+                     std::to_string(m.app_sent), fmt(m.avg_piggyback_idents()),
+                     fmt(bytes_per_msg), fmt(m.piggyback_compression(), 3),
+                     std::to_string(out.result.logger_batches),
+                     std::to_string(out.result.logger_commit_rounds),
+                     std::to_string(out.result.logger_acks)});
+          json.field("app", std::string(to_string(app)))
+              .field("ranks", n)
+              .field("protocol", std::string(to_string(proto)))
+              .field("logger_shards", uses_logger(proto) ? shards : 0)
+              .field("msgs", m.app_sent)
+              .field("piggyback_idents_per_msg", m.avg_piggyback_idents())
+              .field("piggyback_bytes_per_msg", bytes_per_msg)
+              .field("piggyback_ratio", m.piggyback_compression())
+              .field("logger_msgs", out.result.logger_batches)
+              .field("logger_commit_rounds", out.result.logger_commit_rounds)
+              .field("logger_acks", out.result.logger_acks)
+              .end_row();
+        }
       }
     }
   }

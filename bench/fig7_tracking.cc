@@ -9,7 +9,12 @@
 // serialization plus watermark merging.  Both grow with message frequency
 // (LU worst) and scale.
 //
-//   ./fig7_tracking [--ranks=4,8,16,32] [--scale=1.0] [--csv]
+// The --logger-shards sweep adds sharded-event-logger columns (TEL reruns
+// per shard count; TDI/TAG never touch the logger and run once): batched
+// commit-round acks cut the watermark merges the TEL send path pays for.
+//
+//   ./fig7_tracking [--ranks=4,8,16,32] [--scale=1.0] [--logger-shards=1]
+//                   [--csv] [--json=F]
 #include "bench/common.h"
 
 using namespace windar;
@@ -19,43 +24,68 @@ int main(int argc, char** argv) {
   util::Options opts(argc, argv);
   const auto ranks = opts.int_list("ranks", {4, 8, 16, 32}, "rank sweep");
   const double scale = opts.real("scale", 1.0, "iteration scale factor");
+  const auto shard_list = opts.int_list(
+      "logger-shards", {1},
+      "event-logger shard sweep (TEL reruns per value; others run once)");
+  const std::string json_path =
+      opts.str("json", "", "also write rows to this JSON file");
   const bool csv = opts.flag("csv", false, "also print CSV");
   opts.finish();
 
-  util::Table table({"app", "ranks", "protocol", "events", "track us/msg",
-                     "send us/msg", "deliver us/msg", "total track ms"});
+  util::Table table({"app", "ranks", "protocol", "shards", "events",
+                     "track us/msg", "send us/msg", "deliver us/msg",
+                     "total track ms"});
+  JsonRows json;
 
   for (auto app : all_apps()) {
     for (int n : ranks) {
       for (auto proto : all_protocols()) {
-        NpbJob job;
-        job.app = app;
-        job.ranks = n;
-        job.protocol = proto;
-        job.scale = scale;
-        const NpbOutcome out = run_npb_job(job);
-        const ft::Metrics& m = out.result.total;
-        const double sends = static_cast<double>(m.app_sent);
-        const double delivers = static_cast<double>(m.app_delivered);
-        table.row(
-            {std::string(to_string(app)), std::to_string(n), to_string(proto),
-             std::to_string(m.app_sent + m.app_delivered),
-             fmt(m.avg_track_us(), 3),
-             fmt(sends ? static_cast<double>(m.track_send_ns) / 1e3 / sends
-                       : 0.0,
-                 3),
-             fmt(delivers
-                     ? static_cast<double>(m.track_deliver_ns) / 1e3 / delivers
-                     : 0.0,
-                 3),
-             fmt(static_cast<double>(m.track_send_ns + m.track_deliver_ns) /
-                     1e6,
-                 2)});
+        for (std::size_t si = 0; si < shard_list.size(); ++si) {
+          if (si > 0 && !uses_logger(proto)) continue;
+          const int shards = shard_list[si];
+          NpbJob job;
+          job.app = app;
+          job.ranks = n;
+          job.protocol = proto;
+          job.scale = scale;
+          job.logger_shards = shards;
+          const NpbOutcome out = run_npb_job(job);
+          const ft::Metrics& m = out.result.total;
+          const double sends = static_cast<double>(m.app_sent);
+          const double delivers = static_cast<double>(m.app_delivered);
+          const double send_us =
+              sends ? static_cast<double>(m.track_send_ns) / 1e3 / sends : 0.0;
+          const double deliver_us =
+              delivers
+                  ? static_cast<double>(m.track_deliver_ns) / 1e3 / delivers
+                  : 0.0;
+          table.row(
+              {std::string(to_string(app)), std::to_string(n),
+               to_string(proto),
+               uses_logger(proto) ? std::to_string(shards) : "-",
+               std::to_string(m.app_sent + m.app_delivered),
+               fmt(m.avg_track_us(), 3), fmt(send_us, 3), fmt(deliver_us, 3),
+               fmt(static_cast<double>(m.track_send_ns + m.track_deliver_ns) /
+                       1e6,
+                   2)});
+          json.field("app", std::string(to_string(app)))
+              .field("ranks", n)
+              .field("protocol", std::string(to_string(proto)))
+              .field("logger_shards", uses_logger(proto) ? shards : 0)
+              .field("track_us_per_msg", m.avg_track_us())
+              .field("track_send_us_per_msg", send_us)
+              .field("track_deliver_us_per_msg", deliver_us)
+              .end_row();
+        }
       }
     }
   }
 
   table.print("Fig. 7 — dependency-tracking time overhead per message");
   if (csv) std::fputs(table.csv().c_str(), stdout);
+  if (!json_path.empty()) {
+    WINDAR_CHECK(json.write(json_path)) << "cannot write " << json_path;
+    std::fprintf(stderr, "fig7_tracking: wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

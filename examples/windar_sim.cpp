@@ -117,6 +117,7 @@ struct SimOptions {
   net::TransportKind transport = net::default_transport();
   exec::ExecModel exec_model = exec::ExecModel::kAuto;
   int exec_workers = 0;
+  int logger_shards = 0;
 };
 
 SimOptions parse_sim_options(int argc, char** argv) {
@@ -151,6 +152,10 @@ SimOptions parse_sim_options(int argc, char** argv) {
       << "unknown exec model '" << ename << "'";
   o.exec_workers = static_cast<int>(
       opts.integer("exec-workers", 0, "coop worker pool size (0=default)"));
+  o.logger_shards = static_cast<int>(opts.integer(
+      "logger-shards", 0,
+      "TEL/PES event-logger shards, shard = rank % N (0 = "
+      "WINDAR_LOGGER_SHARDS, else 1)"));
   opts.finish();
   return o;
 }
@@ -203,6 +208,7 @@ int run_socket_mode(const SimOptions& o, int argc, char** argv) {
   spec.job.mode =
       o.blocking ? ft::SendMode::kBlocking : ft::SendMode::kNonBlocking;
   spec.job.faults = parse_faults(o.fault_spec);
+  spec.job.logger_shards = o.logger_shards;
   // Forward the user's flags verbatim; each worker re-parses them.
   for (int i = 1; i < argc; ++i) spec.worker_args.push_back(argv[i]);
 
@@ -247,6 +253,7 @@ int main(int argc, char** argv) {
   cfg.seed = o.seed;
   cfg.exec_model = o.exec_model;
   cfg.exec_workers = o.exec_workers;
+  cfg.logger_shards = o.logger_shards;
   cfg.faults = parse_faults(o.fault_spec);
   ft::TraceSink sink;
   if (o.trace || o.dump_trace) cfg.trace = &sink;

@@ -117,21 +117,65 @@ void SocketTransport::send(Packet p) {
     return;
   }
   PeerWriter& w = *writers_[static_cast<std::size_t>(p.dst)];
+  const std::size_t copies = fx.duplicate ? 2 : 1;
+  const std::size_t wire_each = frame_wire_size(p);
+  // Backpressure: reserve queue depth before pushing, blocking while a live
+  // peer's queue is at either cap.  This is the bound that keeps a stalled
+  // reader from growing this process without limit.
+  reserve_writer_depth(p.dst, w, copies, copies * wire_each);
   {
     std::scoped_lock lock(stats_mu_);
-    stats_.packets_sent += fx.duplicate ? 2 : 1;
+    stats_.packets_sent += copies;
   }
   if (fx.duplicate) {
     inflight_.fetch_add(1, std::memory_order_acq_rel);
     if (!w.queue.push(p)) {  // poisoned by shutdown
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
-      return;
+      release_writer_depth(w, 1, wire_each);
     }
   }
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   if (!w.queue.push(std::move(p))) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    release_writer_depth(w, 1, wire_each);
   }
+}
+
+void SocketTransport::reserve_writer_depth(EndpointId peer, PeerWriter& w,
+                                           std::size_t packets,
+                                           std::size_t bytes) {
+  const auto peer_idx = static_cast<std::size_t>(peer);
+  std::size_t depth_bytes;
+  {
+    std::unique_lock lock(w.bp_mu);
+    w.bp_cv.wait(lock, [&] {
+      // Blocking is only ever for flow control on a live peer: shutdown,
+      // poison, and peer death all release the producer (the queue then
+      // drains by dropping, which frees the depth anyway).
+      return shutdown_.load(std::memory_order_acquire) ||
+             peer_down_[peer_idx].load(std::memory_order_acquire) ||
+             w.queue.poisoned() ||
+             (w.queued_packets < opts_.writer_queue_max_packets &&
+              w.queued_bytes < opts_.writer_queue_max_bytes);
+    });
+    w.queued_packets += packets;
+    w.queued_bytes += bytes;
+    depth_bytes = w.queued_bytes;
+  }
+  std::scoped_lock lock(stats_mu_);
+  if (depth_bytes > stats_.writer_queue_hwm) {
+    stats_.writer_queue_hwm = depth_bytes;
+  }
+}
+
+void SocketTransport::release_writer_depth(PeerWriter& w, std::size_t packets,
+                                           std::size_t bytes) {
+  {
+    std::scoped_lock lock(w.bp_mu);
+    w.queued_packets -= packets;
+    w.queued_bytes -= bytes;
+  }
+  w.bp_cv.notify_all();
 }
 
 bool SocketTransport::flush(std::chrono::milliseconds timeout) {
@@ -177,6 +221,9 @@ void SocketTransport::kill(EndpointId id) {
   // Local view only: the peer process (if any) is the launcher's to SIGKILL.
   peer_down_[static_cast<std::size_t>(id)].store(true,
                                                  std::memory_order_release);
+  // Producers may be parked on the peer's full writer queue; death releases
+  // them (the queue now drains by dropping).
+  if (auto& w = writers_[static_cast<std::size_t>(id)]) w->bp_cv.notify_all();
 }
 
 void SocketTransport::revive(EndpointId id) {
@@ -193,7 +240,9 @@ void SocketTransport::revive(EndpointId id) {
 void SocketTransport::shutdown() {
   if (shutdown_.exchange(true)) return;
   for (auto& w : writers_) {
-    if (w) w->queue.poison();
+    if (!w) continue;
+    w->queue.poison();
+    w->bp_cv.notify_all();  // unblock producers parked on a full queue
   }
   for (auto& w : writers_) {
     if (!w) continue;
@@ -229,6 +278,9 @@ void SocketTransport::writer_loop(EndpointId peer, PeerWriter& w) {
   const auto peer_idx = static_cast<std::size_t>(peer);
   while (auto item = w.queue.pop()) {
     Packet p = std::move(*item);
+    // The packet left the queue: free its flow-control depth now, so at most
+    // cap + one-in-write packets are ever held per peer.
+    release_writer_depth(w, 1, frame_wire_size(p));
     if (shutdown_.load(std::memory_order_acquire)) {
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       return;

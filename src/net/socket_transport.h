@@ -42,6 +42,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -70,6 +71,12 @@ struct SocketTransportOptions {
   std::chrono::milliseconds connect_retry{2};
   int sndbuf_bytes = 0;  // 0 = kernel default; tests shrink it to force
                          // partial writes
+  // Per-peer writer-queue bounds (backpressure).  A producer whose packet
+  // would push a LIVE peer's queue past either cap blocks in send() until
+  // the writer drains; queues to down peers drain by dropping, so no one
+  // blocks on a dead rank.  Tests shrink these to force the blocking path.
+  std::size_t writer_queue_max_packets = 4096;
+  std::size_t writer_queue_max_bytes = 8u << 20;
 };
 
 class SocketTransport final : public Transport {
@@ -119,10 +126,20 @@ class SocketTransport final : public Transport {
     std::thread thread;
     int fd = -1;
     std::chrono::steady_clock::time_point fast_fail_until{};
+    // Flow control: producers reserve depth under bp_mu before pushing and
+    // block while both caps are hit; the writer releases depth as it pops.
+    std::mutex bp_mu;
+    std::condition_variable bp_cv;
+    std::size_t queued_packets = 0;
+    std::size_t queued_bytes = 0;
   };
 
   enum class WriteResult { kOk, kPeerGone, kAborted };
 
+  void reserve_writer_depth(EndpointId peer, PeerWriter& w, std::size_t packets,
+                            std::size_t bytes);
+  void release_writer_depth(PeerWriter& w, std::size_t packets,
+                            std::size_t bytes);
   void writer_loop(EndpointId peer, PeerWriter& w);
   bool connect_peer(EndpointId peer, PeerWriter& w);
   WriteResult write_frame(int fd, const Packet& p);

@@ -65,6 +65,11 @@ struct FabricStats {
   // corrupt length prefix, truncated-by-EOF).  Each costs the offending
   // connection, never the process; the simulated backend is always 0.
   std::uint64_t frame_errors = 0;
+  // Socket backend only: high-water mark, in wire bytes, of any single
+  // per-peer writer queue — the figure that used to grow without bound when
+  // a peer stalled.  Bounded by the writer-queue caps; merges as a max (the
+  // job-wide peak), not a sum.
+  std::uint64_t writer_queue_hwm = 0;
 
   void merge(const FabricStats& other) {
     packets_sent += other.packets_sent;
@@ -73,6 +78,9 @@ struct FabricStats {
     packets_dropped_chaos += other.packets_dropped_chaos;
     bytes_sent += other.bytes_sent;
     frame_errors += other.frame_errors;
+    if (other.writer_queue_hwm > writer_queue_hwm) {
+      writer_queue_hwm = other.writer_queue_hwm;
+    }
   }
 
   bool accounted() const {
@@ -92,8 +100,11 @@ class Transport {
   virtual Endpoint& endpoint(EndpointId id) = 0;
 
   /// Enqueues a packet for asynchronous delivery.  Thread-safe.  Never
-  /// blocks on the destination; packets to dead endpoints are dropped and
-  /// counted.
+  /// blocks on a dead destination; packets to dead endpoints are dropped
+  /// and counted.  The socket backend applies flow control: when a *live*
+  /// peer's bounded writer queue is full the producer blocks until the
+  /// writer drains (backpressure), so a stalled reader bounds the sender's
+  /// memory instead of growing it.
   virtual void send(Packet p) = 0;
 
   /// Fault plane: mark an endpoint dead (its queued inbox is volatile state

@@ -1,0 +1,93 @@
+// Dynamic rank bitset — a set over process ranks sized by the job, with a
+// fast fixed-width path for the common case.
+//
+// TAG's per-determinant knowledge mask was a bare uint64_t, which hard-capped
+// jobs at 64 ranks (and with them the fig6/fig7 sweeps).  RankBitset keeps
+// ranks 0..63 in one inline word — at n <= 64 no allocation ever happens and
+// set/test/merge compile down to the same single-word ops — and spills ranks
+// >= 64 into a vector of words grown on demand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace windar::util {
+
+class RankBitset {
+ public:
+  RankBitset() = default;
+
+  void set(int r) {
+    if (r < 64) {
+      lo_ |= word_bit(r);
+      return;
+    }
+    const std::size_t w = hi_word(r);
+    if (w >= hi_.size()) hi_.resize(w + 1, 0);
+    hi_[w] |= word_bit(r & 63);
+  }
+
+  bool test(int r) const {
+    if (r < 64) return (lo_ & word_bit(r)) != 0;
+    const std::size_t w = hi_word(r);
+    return w < hi_.size() && (hi_[w] & word_bit(r & 63)) != 0;
+  }
+
+  /// Set union (the knowledge-merge operation).
+  void merge(const RankBitset& o) {
+    lo_ |= o.lo_;
+    if (o.hi_.empty()) return;
+    if (hi_.size() < o.hi_.size()) hi_.resize(o.hi_.size(), 0);
+    for (std::size_t w = 0; w < o.hi_.size(); ++w) hi_[w] |= o.hi_[w];
+  }
+
+  bool empty() const {
+    if (lo_ != 0) return false;
+    for (std::uint64_t w : hi_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Serialized as the inline word plus a length-prefixed spill vector, so
+  /// n <= 64 jobs cost exactly the old u64 plus one count word on disk.
+  void save(ByteWriter& w) const {
+    w.u64(lo_);
+    w.u64_vec(hi_);
+  }
+
+  static RankBitset load(ByteReader& r) {
+    RankBitset b;
+    b.lo_ = r.u64();
+    b.hi_ = r.u64_vec();
+    return b;
+  }
+
+  /// The set containing only `r`.
+  static RankBitset of(int r) {
+    RankBitset b;
+    b.set(r);
+    return b;
+  }
+
+  /// The set {a, b}.
+  static RankBitset of(int a, int b) {
+    RankBitset s;
+    s.set(a);
+    s.set(b);
+    return s;
+  }
+
+ private:
+  static std::uint64_t word_bit(int r) { return std::uint64_t{1} << (r & 63); }
+  static std::size_t hi_word(int r) {
+    return static_cast<std::size_t>(r / 64) - 1;
+  }
+
+  std::uint64_t lo_ = 0;                // ranks 0..63 (never allocates)
+  std::vector<std::uint64_t> hi_;       // ranks >= 64, grown on demand
+};
+
+}  // namespace windar::util

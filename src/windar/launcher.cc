@@ -190,6 +190,8 @@ WorkerConfig WorkerConfig::parse(int argc, char** argv) {
       cfg.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (val(a, "--windar-eager=", &v)) {
       cfg.eager_threshold = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (val(a, "--windar-logger-shards=", &v)) {
+      cfg.logger_shards = std::atoi(v.c_str());
     } else if (val(a, "--windar-retry-ms=", &v)) {
       cfg.rollback_retry = std::chrono::milliseconds(std::atoi(v.c_str()));
     } else if (val(a, "--windar-retry-cap-ms=", &v)) {
@@ -226,6 +228,7 @@ WorkerConfig WorkerConfig::parse(int argc, char** argv) {
 
 int run_worker(const WorkerConfig& cfg, const WorkerFn& fn) {
   const bool uses_logger = uses_event_logger(cfg.protocol);
+  const int logger_shards = uses_logger ? std::max(1, cfg.logger_shards) : 0;
   const int launcher_ep = cfg.n;
 
   // Suicide watchdog: if the launcher died or the job wedged, don't linger
@@ -245,7 +248,7 @@ int run_worker(const WorkerConfig& cfg, const WorkerFn& fn) {
   }).detach();
 
   net::SocketTransportOptions dopt;
-  dopt.endpoints = cfg.n + (uses_logger ? 1 : 0);
+  dopt.endpoints = cfg.n + logger_shards;
   dopt.self = cfg.rank;
   dopt.dir = cfg.dir + "/data";
   dopt.incarnation = cfg.incarnation;
@@ -306,7 +309,9 @@ int run_worker(const WorkerConfig& cfg, const WorkerFn& fn) {
   pp.eager_threshold = cfg.eager_threshold;
   pp.rollback_retry = cfg.rollback_retry;
   pp.rollback_retry_cap = cfg.rollback_retry_cap;
-  pp.logger_endpoint = uses_logger ? cfg.n : -1;
+  pp.logger_endpoint =
+      uses_logger ? logger_shard_endpoint(cfg.n, cfg.rank, logger_shards)
+                  : -1;
   pp.incarnation = cfg.incarnation;
 
   int rc = 0;
@@ -380,6 +385,8 @@ MultiProcResult run_multiproc_job(const LaunchSpec& spec) {
   const int n = job.n;
   const int launcher_ep = n;
   const bool uses_logger = uses_event_logger(job.protocol);
+  const int logger_shards =
+      uses_logger ? std::min(n, resolve_logger_shards(job.logger_shards)) : 0;
   WINDAR_CHECK_GT(n, 0) << "job needs ranks";
 
   std::string dir = spec.job_dir;
@@ -400,21 +407,24 @@ MultiProcResult run_multiproc_job(const LaunchSpec& spec) {
   copt.dir = dir + "/ctrl";
   net::SocketTransport ctrl(copt);
 
-  // TEL/PES: the launcher hosts the stable-storage event logger on data
-  // endpoint n, exactly where the simulated runtime puts it.
-  std::unique_ptr<net::SocketTransport> logger_tp;
-  std::unique_ptr<EventLogger> logger;
-  if (uses_logger) {
+  // TEL/PES: the launcher hosts the stable-storage event-logger shards on
+  // data endpoints n..n+shards-1, exactly where the simulated runtime puts
+  // them (a SocketTransport hosts one endpoint, so one transport per shard).
+  std::vector<std::unique_ptr<net::SocketTransport>> logger_tps;
+  std::vector<std::unique_ptr<EventLogger>> loggers;
+  for (int s = 0; s < logger_shards; ++s) {
     net::SocketTransportOptions lopt;
-    lopt.endpoints = n + 1;
-    lopt.self = n;
+    lopt.endpoints = n + logger_shards;
+    lopt.self = n + s;
     lopt.dir = dir + "/data";
-    logger_tp = std::make_unique<net::SocketTransport>(lopt);
+    logger_tps.push_back(std::make_unique<net::SocketTransport>(lopt));
     EventLogger::Params lp;
-    lp.endpoint = n;
+    lp.endpoint = n + s;
     lp.ranks = n;
     lp.storage_delay = job.logger_storage_delay;
-    logger = std::make_unique<EventLogger>(*logger_tp, lp);
+    lp.shards = logger_shards;
+    lp.shard_index = s;
+    loggers.push_back(std::make_unique<EventLogger>(*logger_tps.back(), lp));
   }
 
   const std::string chaos_spec = encode_chaos(job.chaos);
@@ -479,6 +489,9 @@ MultiProcResult run_multiproc_job(const LaunchSpec& spec) {
                  (recovering ? "1" : "0"));
     av.push_back("--windar-seed=" + std::to_string(job.seed));
     av.push_back("--windar-eager=" + std::to_string(job.eager_threshold));
+    if (logger_shards > 0) {
+      av.push_back("--windar-logger-shards=" + std::to_string(logger_shards));
+    }
     av.push_back("--windar-retry-ms=" +
                  std::to_string(job.rollback_retry.count()));
     av.push_back("--windar-retry-cap-ms=" +
@@ -753,12 +766,16 @@ MultiProcResult run_multiproc_job(const LaunchSpec& spec) {
     }
   }
 
-  if (logger) {
-    res.logger_batches = logger->batches();
-    res.logger_determinants = logger->stored_determinants();
-    logger->stop();
-    res.fabric.merge(logger_tp->stats());
-    logger_tp->shutdown();
+  for (int s = 0; s < logger_shards; ++s) {
+    loggers[static_cast<std::size_t>(s)]->stop();
+    res.logger_batches += loggers[static_cast<std::size_t>(s)]->batches();
+    res.logger_determinants +=
+        loggers[static_cast<std::size_t>(s)]->stored_determinants();
+    res.logger_commit_rounds +=
+        loggers[static_cast<std::size_t>(s)]->commit_rounds();
+    res.logger_acks += loggers[static_cast<std::size_t>(s)]->acks_sent();
+    res.fabric.merge(logger_tps[static_cast<std::size_t>(s)]->stats());
+    logger_tps[static_cast<std::size_t>(s)]->shutdown();
   }
   ctrl.shutdown();
 

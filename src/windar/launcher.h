@@ -84,6 +84,7 @@ struct WorkerConfig {
   bool recovering = false;
   std::uint64_t seed = 1;
   std::size_t eager_threshold = 8 * 1024;
+  int logger_shards = 1;  // TEL/PES logger shards (endpoints n..n+shards-1)
   std::chrono::milliseconds rollback_retry{25};
   std::chrono::milliseconds rollback_retry_cap{200};
   double timeout_ms = 120000;  // suicide watchdog (launcher died / wedged)
@@ -146,8 +147,10 @@ struct MultiProcResult {
   std::uint64_t app_sent = 0;
   std::uint64_t app_delivered = 0;
   std::uint64_t checkpoints = 0;
-  std::uint64_t logger_batches = 0;       // TEL only
-  std::uint64_t logger_determinants = 0;  // TEL only
+  std::uint64_t logger_batches = 0;       // TEL/PES: kTelLog packets committed
+  std::uint64_t logger_determinants = 0;  // TEL/PES (summed over shards)
+  std::uint64_t logger_commit_rounds = 0;
+  std::uint64_t logger_acks = 0;
 };
 
 /// Launches `job.n` worker processes, runs the job (faults and all) to

@@ -22,7 +22,11 @@ struct ProcessParams {
   // fixed-interval broadcast storm).
   std::chrono::milliseconds rollback_retry{25};
   std::chrono::milliseconds rollback_retry_cap{200};
-  int logger_endpoint = -1;  // >= 0 when the protocol uses the event logger
+  // This rank's event-logger shard endpoint (>= 0 when the protocol uses
+  // the logger).  With sharding the runtime resolves it per rank via
+  // logger_shard_endpoint(n, rank, shards); a rank talks to exactly one
+  // shard for logs, queries, and checkpoint advances alike.
+  int logger_endpoint = -1;
   std::size_t tel_batch = 32;
   std::chrono::microseconds tel_flush_interval{50};
   // Paper Fig. 4(b) uses a dedicated sending thread because real transports

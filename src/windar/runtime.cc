@@ -42,18 +42,23 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
   WINDAR_CHECK_GT(config.n, 0) << "need at least one rank";
   const bool uses_logger = config.protocol == ProtocolKind::kTel ||
                            config.protocol == ProtocolKind::kPes;
-  const int endpoints = config.n + (uses_logger ? 1 : 0);
+  const int logger_shards =
+      uses_logger ? std::min(config.n, resolve_logger_shards(config.logger_shards))
+                  : 0;
+  const int endpoints = config.n + logger_shards;
 
   net::Fabric fabric(endpoints, config.latency, config.seed,
                      config.fabric_shards);
   CheckpointStore store(config.checkpoint_spill_dir);
-  std::unique_ptr<EventLogger> logger;
-  if (uses_logger) {
+  std::vector<std::unique_ptr<EventLogger>> loggers;
+  for (int s = 0; s < logger_shards; ++s) {
     EventLogger::Params lp;
-    lp.endpoint = config.n;
+    lp.endpoint = config.n + s;
     lp.ranks = config.n;
     lp.storage_delay = config.logger_storage_delay;
-    logger = std::make_unique<EventLogger>(fabric, lp);
+    lp.shards = logger_shards;
+    lp.shard_index = s;
+    loggers.push_back(std::make_unique<EventLogger>(fabric, lp));
   }
 
   std::vector<Slot> slots(static_cast<std::size_t>(config.n));
@@ -72,7 +77,9 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
     p.eager_threshold = config.eager_threshold;
     p.rollback_retry = config.rollback_retry;
     p.rollback_retry_cap = config.rollback_retry_cap;
-    p.logger_endpoint = uses_logger ? config.n : -1;
+    p.logger_endpoint =
+        uses_logger ? logger_shard_endpoint(config.n, rank, logger_shards)
+                    : -1;
     p.trace = config.trace;
     p.incarnation = incarnation;
     return p;
@@ -321,10 +328,12 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
 
   JobResult result;
   result.wall_ms = t1 - t0;
-  if (logger) {
-    result.logger_batches = logger->batches();
-    result.logger_determinants = logger->stored_determinants();
-    logger->stop();
+  for (auto& logger : loggers) {
+    logger->stop();  // stop first so in-flight commit rounds are counted
+    result.logger_batches += logger->batches();
+    result.logger_determinants += logger->stored_determinants();
+    result.logger_commit_rounds += logger->commit_rounds();
+    result.logger_acks += logger->acks_sent();
   }
   fabric.shutdown();
 

@@ -71,6 +71,10 @@ struct JobConfig {
   std::chrono::milliseconds rollback_retry_cap{200};
   std::size_t eager_threshold = 8 * 1024;
   std::chrono::microseconds logger_storage_delay{5};
+  // TEL/PES event-logger shards (shard = sender rank % shards, endpoints
+  // n..n+shards-1).  0 resolves the default: WINDAR_LOGGER_SHARDS if set,
+  // else 1 (the seed's single-logger deployment).  Clamped to n.
+  int logger_shards = 0;
   std::string checkpoint_spill_dir;  // empty: in-memory stable store
   TraceSink* trace = nullptr;        // optional causal-event recorder
 };
@@ -82,8 +86,10 @@ struct JobResult {
   net::FabricStats fabric;
   CheckpointStoreStats checkpoints;
   std::uint64_t chaos_triggers_fired = 0;  // chaos events that fired
-  std::uint64_t logger_batches = 0;      // TEL only
-  std::uint64_t logger_determinants = 0; // TEL only (still stored at end)
+  std::uint64_t logger_batches = 0;      // TEL/PES: kTelLog packets committed
+  std::uint64_t logger_determinants = 0; // TEL/PES (still stored at end)
+  std::uint64_t logger_commit_rounds = 0;  // storage-delay commits taken
+  std::uint64_t logger_acks = 0;           // kTelAck packets sent
 };
 
 /// The application's handle: an mp::Comm (so collectives and the NPB

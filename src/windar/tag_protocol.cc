@@ -8,20 +8,20 @@
 namespace windar::ft {
 
 TagProtocol::TagProtocol(int rank, int n)
-    : LoggingProtocol(rank, n), unsent_(static_cast<std::size_t>(n)) {
-  WINDAR_CHECK_LE(n, 64) << "TAG knowledge bitmask supports up to 64 ranks";
-}
+    : LoggingProtocol(rank, n), unsent_(static_cast<std::size_t>(n)) {}
 
 std::uint32_t TagProtocol::add_det(const Determinant& d,
-                                   std::uint64_t mask_bits) {
+                                   const util::RankBitset& known) {
   auto [it, inserted] = index_.try_emplace(
       d.key(), static_cast<std::uint32_t>(entries_.size()));
   if (!inserted) {
     Entry& e = entries_[it->second];
-    e.known_mask |= mask_bits;
+    e.known.merge(known);
     return it->second;
   }
-  entries_.push_back(Entry{d, mask_bits | bit(rank_), false});
+  util::RankBitset with_self = known;
+  with_self.set(rank_);
+  entries_.push_back(Entry{d, std::move(with_self), false});
   ++live_entries_;
   const auto id = static_cast<std::uint32_t>(entries_.size() - 1);
   // Queue for piggybacking to every destination that may lack it; the mask
@@ -41,8 +41,8 @@ Piggyback TagProtocol::on_send(int dst, SeqNo send_index) {
   DeterminantBlockWriter block;
   for (std::uint32_t id : pending) {
     Entry& e = entries_[id];
-    if (e.dead || (e.known_mask & bit(dst)) != 0) continue;
-    e.known_mask |= bit(dst);  // optimistic: the message will carry it
+    if (e.dead || e.known.test(dst)) continue;
+    e.known.set(dst);  // optimistic: the message will carry it
     block.add(e.det);
   }
   pending.clear();
@@ -56,13 +56,13 @@ void TagProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
   util::ByteReader r(meta);
   read_determinant_block(r, [&](const Determinant& d) {
     // The sender held it, and now so do we.
-    add_det(d, bit(src) | bit(rank_));
+    add_det(d, util::RankBitset::of(src, rank_));
   });
   // Our own delivery becomes a new non-deterministic event determinant.
   // The sender does not know our delivery order, so only we hold it.
   add_det(Determinant{static_cast<SeqNo>(src), static_cast<SeqNo>(rank_),
                       send_index, deliver_seq},
-          bit(rank_));
+          util::RankBitset::of(rank_));
   replay_.on_deliver(deliver_seq);
 }
 
@@ -142,7 +142,7 @@ void TagProtocol::save(util::ByteWriter& w) const {
   for (const Entry& e : entries_) {
     if (e.dead) continue;
     e.det.write(w);
-    w.u64(e.known_mask);
+    e.known.save(w);
   }
 }
 
@@ -154,7 +154,7 @@ void TagProtocol::restore(util::ByteReader& r) {
   const std::uint32_t count = r.u32();
   for (std::uint32_t i = 0; i < count; ++i) {
     const Determinant d = Determinant::read(r);
-    const std::uint64_t mask = r.u64();
+    const util::RankBitset mask = util::RankBitset::load(r);
     // add_det rebuilds the unsent lists; then narrow them back down using
     // the saved mask (peers that already held the determinant keep it —
     // knowledge is never lost by *our* failure).

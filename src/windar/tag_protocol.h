@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/bitset.h"
 #include "windar/protocol.h"
 #include "windar/pwd_replay.h"
 
@@ -50,18 +51,16 @@ class TagProtocol final : public LoggingProtocol {
  private:
   struct Entry {
     Determinant det;
-    std::uint64_t known_mask = 0;  // bit r: rank r (believed to) hold this
-    bool dead = false;             // released by checkpoint GC
+    util::RankBitset known;  // ranks (believed to) hold this; sized by job
+    bool dead = false;       // released by checkpoint GC
   };
 
   /// Adds or refreshes a determinant; returns its entry id.
-  std::uint32_t add_det(const Determinant& d, std::uint64_t mask_bits);
+  std::uint32_t add_det(const Determinant& d, const util::RankBitset& known);
 
   /// Rebuilds the entry store when tombstones dominate, remapping the
   /// per-destination unsent lists.
   void maybe_compact();
-
-  static std::uint64_t bit(int r) { return std::uint64_t{1} << r; }
 
   std::vector<Entry> entries_;                       // discovery order
   std::unordered_map<std::uint64_t, std::uint32_t> index_;  // det key -> id

@@ -1,5 +1,7 @@
 #include "windar/tdi_protocol.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace windar::ft {
@@ -32,7 +34,39 @@ TdiProtocol::TdiProtocol(int rank, int n, Encoding encoding)
   if (encoding_ == Encoding::kDelta) {
     entry_tick_.assign(static_cast<std::size_t>(n), 0);
     sent_tick_.assign(static_cast<std::size_t>(n), 0);
+    entry_epoch_.assign(static_cast<std::size_t>(n), 0);
   }
+}
+
+void TdiProtocol::touch(std::size_t entry) {
+  entry_tick_[entry] = ++tick_;
+  journal_.push_back(static_cast<std::uint32_t>(entry));
+  const std::size_t cap =
+      std::max<std::size_t>(64, 4 * static_cast<std::size_t>(n_));
+  if (journal_.size() > cap) compact_journal();
+}
+
+void TdiProtocol::compact_journal() {
+  // The journal prefix up to the oldest live channel base carries no
+  // information any future send needs (deltas only ever look past their
+  // base).  A channel whose base lags by more than half the journal would
+  // pin that prefix forever; zero its base instead — its next send becomes
+  // a full resync, which is always correct.
+  const std::uint64_t cutoff = tick_ - journal_.size() / 2;
+  std::uint64_t min_base = tick_;
+  for (auto& st : sent_tick_) {
+    if (st == 0) continue;
+    if (st < cutoff) {
+      st = 0;
+    } else {
+      min_base = std::min(min_base, st);
+    }
+  }
+  WINDAR_CHECK_GE(min_base, journal_base_tick_) << "journal trimmed past base";
+  journal_.erase(journal_.begin(),
+                 journal_.begin() +
+                     static_cast<std::ptrdiff_t>(min_base - journal_base_tick_));
+  journal_base_tick_ = min_base;
 }
 
 Piggyback TdiProtocol::on_send(int dst, SeqNo send_index) {
@@ -79,13 +113,37 @@ Piggyback TdiProtocol::on_send(int dst, SeqNo send_index) {
   const std::size_t d = static_cast<std::size_t>(dst);
   const std::uint64_t base = sent_tick_[d];
   const bool resync = base == 0;
-  std::uint32_t npairs = 0;
-  for (int k = 0; k < n_; ++k) {
-    const std::size_t sk = static_cast<std::size_t>(k);
-    if (depend_interval_[sk] != 0 &&
-        (entry_tick_[sk] > base || k == dst)) {
-      ++npairs;
+  changed_scratch_.clear();
+  if (resync) {
+    // No valid base: every non-zero entry counts as changed — O(n), but only
+    // on the first send per channel and the first after restore().
+    for (int k = 0; k < n_; ++k) {
+      if (depend_interval_[static_cast<std::size_t>(k)] != 0 || k == dst) {
+        changed_scratch_.push_back(static_cast<std::uint32_t>(k));
+      }
     }
+  } else {
+    // O(churn): the deduped journal suffix past `base` is exactly the set
+    // with entry_tick_ > base (compaction never trims past a live base).
+    WINDAR_CHECK_GE(base, journal_base_tick_) << "delta base outlived journal";
+    ++scan_epoch_;
+    for (std::size_t i = static_cast<std::size_t>(base - journal_base_tick_);
+         i < journal_.size(); ++i) {
+      const std::uint32_t k = journal_[i];
+      if (entry_epoch_[k] != scan_epoch_) {
+        entry_epoch_[k] = scan_epoch_;
+        changed_scratch_.push_back(k);
+      }
+    }
+    if (entry_epoch_[d] != scan_epoch_) {
+      entry_epoch_[d] = scan_epoch_;
+      changed_scratch_.push_back(static_cast<std::uint32_t>(dst));
+    }
+    std::sort(changed_scratch_.begin(), changed_scratch_.end());
+  }
+  std::uint32_t npairs = 0;
+  for (std::uint32_t k : changed_scratch_) {
+    if (depend_interval_[k] != 0) ++npairs;
   }
   if (8u * npairs >= 4u * static_cast<std::uint32_t>(n_)) {
     // Pair form would be no smaller than the paper's dense vector: fall back
@@ -97,11 +155,10 @@ Piggyback TdiProtocol::on_send(int dst, SeqNo send_index) {
     return pb;
   }
   w.u32(kDeltaMarker | npairs);
-  for (int k = 0; k < n_; ++k) {
-    const std::size_t sk = static_cast<std::size_t>(k);
-    const SeqNo v = depend_interval_[sk];
-    if (v != 0 && (entry_tick_[sk] > base || k == dst)) {
-      w.u32(static_cast<std::uint32_t>(k));
+  for (std::uint32_t k : changed_scratch_) {
+    const SeqNo v = depend_interval_[k];
+    if (v != 0) {
+      w.u32(k);
       w.u32(v);
     }
   }
@@ -198,7 +255,49 @@ void TdiProtocol::restore(util::ByteReader& r) {
     const std::uint64_t t = ++tick_;
     for (auto& et : entry_tick_) et = t;
     for (auto& st : sent_tick_) st = 0;
+    // One tick just stamped n entries, so the position == tick mapping the
+    // journal relies on is void.  Every base is 0 (resync), so no send will
+    // consult pre-restore journal state: start a fresh window here.
+    journal_.clear();
+    journal_base_tick_ = tick_;
   }
+}
+
+Piggyback TdiProtocol::scan_encode_for_test(int dst) const {
+  WINDAR_CHECK(encoding_ == Encoding::kDelta) << "scan encoder is delta-only";
+  // The original full-scan delta encoder, kept verbatim as the reference the
+  // journal path must match byte-for-byte.  Reads channel state, never
+  // advances it.
+  util::ByteWriter w;
+  const std::uint32_t dense_bytes = 4 + 4 * static_cast<std::uint32_t>(n_);
+  const std::size_t d = static_cast<std::size_t>(dst);
+  const std::uint64_t base = sent_tick_[d];
+  const bool resync = base == 0;
+  std::uint32_t npairs = 0;
+  for (int k = 0; k < n_; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    if (depend_interval_[sk] != 0 && (entry_tick_[sk] > base || k == dst)) {
+      ++npairs;
+    }
+  }
+  if (8u * npairs >= 4u * static_cast<std::uint32_t>(n_)) {
+    w.u32_vec(depend_interval_);
+    Piggyback pb{w.take(), static_cast<std::uint32_t>(n_), dense_bytes};
+    pb.resync = resync;
+    return pb;
+  }
+  w.u32(kDeltaMarker | npairs);
+  for (int k = 0; k < n_; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    const SeqNo v = depend_interval_[sk];
+    if (v != 0 && (entry_tick_[sk] > base || k == dst)) {
+      w.u32(static_cast<std::uint32_t>(k));
+      w.u32(v);
+    }
+  }
+  Piggyback pb{w.take(), npairs, dense_bytes};
+  pb.resync = resync;
+  return pb;
 }
 
 }  // namespace windar::ft

@@ -80,8 +80,17 @@ class TdiProtocol final : public LoggingProtocol {
   /// width n.
   static std::vector<SeqNo> decode(std::span<const std::uint8_t> meta, int n);
 
+  /// Test-only reference encoder: computes what on_send(dst) would emit with
+  /// the original full O(n) change-tick scan, without advancing any channel
+  /// state.  test_tdi_delta asserts the journal path is byte-identical.
+  Piggyback scan_encode_for_test(int dst) const;
+
+  /// Test-only: current change-journal length (bounded by compaction).
+  std::size_t journal_size_for_test() const { return journal_.size(); }
+
  private:
-  void touch(std::size_t entry) { entry_tick_[entry] = ++tick_; }
+  void touch(std::size_t entry);
+  void compact_journal();
 
   Encoding encoding_;
   std::vector<SeqNo> depend_interval_;
@@ -92,11 +101,25 @@ class TdiProtocol final : public LoggingProtocol {
   // the last send to dst (0 = no valid base yet: nothing sent on the
   // channel, or the vector was restored since).  A send to dst carries
   // exactly the non-zero entries with entry_tick_ > sent_tick_[dst], plus
-  // the receiver's gate entry.  O(n) scan per send, O(n) words per rank —
-  // the wire is where O(n) hurt.
+  // the receiver's gate entry.
+  //
+  // The changed set is found in O(churn), not O(n): `journal_` is an
+  // append-only log of touched entry indices where position i holds the
+  // entry touched at tick journal_base_tick_ + 1 + i, so "entries with
+  // entry_tick_ > base" is exactly the deduped journal suffix past position
+  // base - journal_base_tick_.  Dedupe is an epoch-stamped scratch array
+  // (no clearing between sends).  The journal is compacted once it exceeds
+  // max(64, 4n) entries: the prefix no live channel base pins is dropped,
+  // and channels whose base lags more than half the window are forced to
+  // resync on their next send so one stale channel cannot pin the journal.
   std::uint64_t tick_ = 0;
   std::vector<std::uint64_t> entry_tick_;
   std::vector<std::uint64_t> sent_tick_;
+  std::vector<std::uint32_t> journal_;
+  std::uint64_t journal_base_tick_ = 0;
+  std::vector<std::uint64_t> entry_epoch_;
+  std::uint64_t scan_epoch_ = 0;
+  std::vector<std::uint32_t> changed_scratch_;
 };
 
 }  // namespace windar::ft

@@ -35,6 +35,23 @@ enum class Kind : std::uint16_t {
 
 inline std::uint16_t wire(Kind k) { return static_cast<std::uint16_t>(k); }
 
+// ---- event-logger shard routing ----
+// The TEL/PES stability plane is sharded by sender rank: a job with n app
+// ranks and S logger shards puts shard i on fabric endpoint n + i, and every
+// rank talks to exactly one shard for its whole lifetime (kTelLog, kTelQuery,
+// kCheckpointAdvance all go to the same endpoint, so per-rank watermark
+// semantics are unchanged by sharding).
+
+/// Which shard commits `rank`'s determinants (shard = sender rank % shards).
+inline int logger_shard_index(int rank, int shards) {
+  return shards > 1 ? rank % shards : 0;
+}
+
+/// The fabric endpoint of `rank`'s logger shard in a job with `n` app ranks.
+inline int logger_shard_endpoint(int n, int rank, int shards) {
+  return n + logger_shard_index(rank, shards);
+}
+
 enum class ProtocolKind {
   kTdi,        // this paper: dependency-interval vectors
   kTag,        // baseline: antecedence graph (Manetho / LogOn style)

@@ -23,8 +23,13 @@ struct SoakOutcome {
 
 /// Builds the JobConfig a plan describes; `with_faults` toggles the chaos
 /// schedule so the same call produces the faulty run and its clean baseline.
+/// `logger_shards` > 0 runs TEL/PES against a sharded event logger (0 keeps
+/// the env/default resolution), `exec_model` picks the rank execution model
+/// — both are soak dimensions for the sharded-logger schedules.
 inline JobConfig plan_config(const ChaosPlan& plan, ProtocolKind proto,
-                             bool with_faults) {
+                             bool with_faults, int logger_shards = 0,
+                             exec::ExecModel exec_model =
+                                 exec::ExecModel::kAuto) {
   JobConfig cfg;
   cfg.n = plan.n;
   cfg.protocol = proto;
@@ -32,6 +37,8 @@ inline JobConfig plan_config(const ChaosPlan& plan, ProtocolKind proto,
   cfg.latency = net::LatencyModel::turbulent();
   cfg.seed = plan.seed;
   cfg.restart_delay_ms = 2;
+  cfg.logger_shards = logger_shards;
+  cfg.exec_model = exec_model;
   if (with_faults) cfg.chaos = plan.events;
   return cfg;
 }
@@ -73,12 +80,15 @@ inline std::uint64_t ring_digest_rank(Ctx& ctx, int iterations,
 /// plus the job result.  Deterministic: two calls with the same plan and
 /// protocol produce the same digest whatever faults fired.
 inline SoakOutcome run_plan(const ChaosPlan& plan, ProtocolKind proto,
-                            bool with_faults) {
+                            bool with_faults, int logger_shards = 0,
+                            exec::ExecModel exec_model =
+                                exec::ExecModel::kAuto) {
   const int iterations = plan.iterations;
   const int checkpoint_every = plan.checkpoint_every;
   auto sum = std::make_shared<std::atomic<std::uint64_t>>(0);
   SoakOutcome out;
-  out.result = run_job(plan_config(plan, proto, with_faults),
+  out.result = run_job(plan_config(plan, proto, with_faults, logger_shards,
+                                   exec_model),
                        [iterations, checkpoint_every, sum](Ctx& ctx) {
                          sum->fetch_add(
                              ring_digest_rank(ctx, iterations,

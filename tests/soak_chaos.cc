@@ -5,6 +5,8 @@
 // (`chaos_soak --replay=<seed>`).
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "chaos_app.h"
 
 namespace windar::ft {
@@ -41,6 +43,40 @@ INSTANTIATE_TEST_SUITE_P(Protocols, ChaosSoak,
                            std::erase(name, '-');
                            return name;
                          });
+
+// Sharded-logger slice: the same seeded schedules for the logger-backed
+// protocols, but against 2 and 4 logger shards and both execution models —
+// kills now race per-shard commit threads and batched-ack watermarks.
+class ShardedChaosSoak
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, int>> {};
+
+TEST_P(ShardedChaosSoak, SeededSchedulesConvergeToCleanDigest) {
+  const auto [proto, shards] = GetParam();
+  for (const std::uint64_t seed : {kSeeds[0], kSeeds[2], kSeeds[4]}) {
+    const ChaosPlan plan = make_chaos_plan(seed);
+    SCOPED_TRACE(plan.describe());
+    for (const auto exec_model :
+         {exec::ExecModel::kThreads, exec::ExecModel::kCoop}) {
+      const auto clean =
+          chaos::run_plan(plan, proto, false, shards, exec_model);
+      const auto faulty =
+          chaos::run_plan(plan, proto, true, shards, exec_model);
+      EXPECT_EQ(clean.digest, faulty.digest)
+          << "exec=" << static_cast<int>(exec_model);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoggerShards, ShardedChaosSoak,
+    ::testing::Combine(::testing::Values(ProtocolKind::kTel,
+                                         ProtocolKind::kPes),
+                       ::testing::Values(2, 4)),
+    [](const auto& param_info) {
+      std::string name = to_string(std::get<0>(param_info.param));
+      std::erase(name, '-');
+      return name + "x" + std::to_string(std::get<1>(param_info.param));
+    });
 
 }  // namespace
 }  // namespace windar::ft

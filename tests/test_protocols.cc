@@ -304,6 +304,41 @@ TEST(Tag, SaveRestorePreservesKnowledge) {
   EXPECT_EQ(q.on_send(3, 1).idents, kIdentsPerDeterminant);
 }
 
+TEST(Tag, KnowledgeMaskScalesPastSixtyFourRanks) {
+  // The seed kept per-determinant knowledge in one u64 and CHECK-failed any
+  // job wider than 64 ranks; the dynamic bitset lifts that.  Exercise ranks
+  // on both sides of the word boundary, incremental suppression, the
+  // no-echo rule, and save/restore of the high words.
+  TagProtocol p(70, 100);
+  util::ByteWriter empty;
+  empty.u32(0);
+  p.on_deliver(65, 1, 1, empty.view());
+  EXPECT_EQ(p.tracked_entries(), 1u);
+  EXPECT_EQ(p.on_send(80, 1).idents, kIdentsPerDeterminant);
+  EXPECT_EQ(p.on_send(80, 2).idents, 0u);  // incremental above rank 64
+  EXPECT_EQ(p.on_send(3, 1).idents, kIdentsPerDeterminant);  // low rank too
+
+  // A determinant learned FROM rank 90 is never echoed back to 90.
+  util::ByteWriter w;
+  w.u32(1);
+  Determinant d{88, 90, 1, 1};
+  d.write(w);
+  p.on_deliver(90, 1, 2, w.view());
+  // d is already known by 90 (it sent it); the first det and this
+  // delivery's own det are news.
+  EXPECT_EQ(p.on_send(90, 1).idents, 2 * kIdentsPerDeterminant);
+
+  util::ByteWriter saved;
+  p.save(saved);
+  TagProtocol q(70, 100);
+  util::ByteReader r(saved.view());
+  q.restore(r);
+  EXPECT_EQ(q.tracked_entries(), 3u);
+  // 80 already knows the first det; d and the second own det are new to it.
+  EXPECT_EQ(q.on_send(80, 3).idents, 2 * kIdentsPerDeterminant);
+  EXPECT_EQ(q.on_send(95, 1).idents, 3 * kIdentsPerDeterminant);
+}
+
 // ---------------------------------------------------------------------------
 // TEL
 // ---------------------------------------------------------------------------

@@ -208,6 +208,112 @@ TEST(TdiDelta, FactoryProducesDeltaKind) {
 }
 
 // ---------------------------------------------------------------------------
+// Change journal: the O(churn) encoder must be byte-identical to the
+// original O(n) per-send scan, and the journal itself must stay bounded
+// however long the protocol runs (the 4096-rank scale bug).
+// ---------------------------------------------------------------------------
+
+TEST(TdiDeltaJournal, JournalEncoderIsByteIdenticalToFullScan) {
+  // Randomized workload over every channel: before each send, compute the
+  // reference blob with the original full scan, then the journal-backed
+  // on_send, and require the exact same bytes — same pairs, same order,
+  // same dense-fallback decisions.
+  const int n = 24;
+  TdiProtocol p(0, n, Enc::kDelta);
+  std::uint64_t rng = 0x243F6A8885A308D3ull;
+  auto next = [&rng](std::uint64_t bound) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return (rng >> 33) % bound;
+  };
+  std::vector<SeqNo> sent(static_cast<std::size_t>(n), 0);
+  std::vector<SeqNo> vec(static_cast<std::size_t>(n), 0);
+  SeqNo deliveries = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (next(3) != 0) {
+      // Deliver: bump a few random entries (monotone, like real merges).
+      const int touches = 1 + static_cast<int>(next(3));
+      for (int t = 0; t < touches; ++t) {
+        vec[next(static_cast<std::uint64_t>(n))] += 1 + next(4);
+      }
+      deliver_vec(p, 1 + static_cast<int>(next(
+                          static_cast<std::uint64_t>(n - 1))),
+                  ++deliveries, vec);
+    } else {
+      const int dst = 1 + static_cast<int>(next(
+                              static_cast<std::uint64_t>(n - 1)));
+      const Piggyback want = p.scan_encode_for_test(dst);
+      const Piggyback got =
+          p.on_send(dst, ++sent[static_cast<std::size_t>(dst)]);
+      ASSERT_EQ(got.blob, want.blob) << "step " << step << " dst " << dst;
+      EXPECT_EQ(got.resync, want.resync);
+      EXPECT_EQ(got.idents, want.idents);
+    }
+  }
+}
+
+TEST(TdiDeltaJournal, JournalStaysBoundedUnderSustainedChurn) {
+  // The seed kept a per-entry change tick but the encoder re-scanned all n
+  // entries per send; the journal replaces the scan and is compacted, so
+  // its length must stay O(n) no matter how many deliveries accumulate.
+  const int n = 32;
+  TdiProtocol p(0, n, Enc::kDelta);
+  std::vector<SeqNo> vec(static_cast<std::size_t>(n), 0);
+  SeqNo sent = 0;
+  const std::size_t cap = 4u * static_cast<std::size_t>(n);
+  for (SeqNo i = 1; i <= 4096; ++i) {
+    vec[static_cast<std::size_t>(i) % static_cast<std::size_t>(n)] = i;
+    deliver_vec(p, 1, i, vec);
+    EXPECT_LE(p.journal_size_for_test(), cap) << "delivery " << i;
+    if (i % 16 == 0) {
+      // Live channel: steady sends keep the base recent, so compaction can
+      // always find a trim point without forcing resyncs here.
+      const Piggyback pb = p.on_send(1, ++sent);
+      if (sent > 1) EXPECT_FALSE(pb.resync);
+    }
+  }
+  EXPECT_LE(p.journal_size_for_test(), cap);
+}
+
+TEST(TdiDeltaJournal, CompactionForcesResyncOnlyOnStaleChannels) {
+  // A channel that last sent long ago has its base compacted away and pays
+  // one full resync; a recently-active channel keeps its delta.
+  const int n = 8;
+  TdiProtocol p(0, n, Enc::kDelta);
+  std::vector<SeqNo> vec(static_cast<std::size_t>(n), 0);
+  SeqNo deliveries = 0, to1 = 0, to2 = 0;
+  deliver_vec(p, 3, ++deliveries, vec);
+  (void)p.on_send(1, ++to1);  // channel 1 base set, then goes idle
+  for (SeqNo i = 0; i < 2048; ++i) {
+    vec[static_cast<std::size_t>(i) % static_cast<std::size_t>(n)] += 1;
+    deliver_vec(p, 3, ++deliveries, vec);
+    if (i % 8 == 0) (void)p.on_send(2, ++to2);  // channel 2 stays hot
+  }
+  const Piggyback cold = p.on_send(1, ++to1);
+  EXPECT_TRUE(cold.resync);
+  EXPECT_EQ(TdiProtocol::decode(cold.blob, n), p.depend_interval());
+  const Piggyback hot = p.on_send(2, ++to2);
+  EXPECT_FALSE(hot.resync);
+}
+
+TEST(TdiDeltaJournal, RestoreClearsJournal) {
+  // restore() stamps every entry at one tick, which breaks the journal's
+  // position-to-tick mapping — it must drop the journal and lean on the
+  // all-bases-invalidated resync instead.
+  TdiProtocol p(0, 8, Enc::kDelta);
+  util::ByteWriter saved;
+  p.save(saved);
+  deliver_vec(p, 2, 1, {0, 0, 3, 0, 0, 1, 0, 0});
+  EXPECT_GT(p.journal_size_for_test(), 0u);
+  util::ByteReader r(saved.view());
+  p.restore(r);
+  EXPECT_EQ(p.journal_size_for_test(), 0u);
+  deliver_vec(p, 2, 1, {0, 0, 4, 0, 0, 1, 0, 0});
+  const Piggyback pb = p.on_send(1, 1);
+  EXPECT_TRUE(pb.resync);
+  EXPECT_EQ(TdiProtocol::decode(pb.blob, 8), p.depend_interval());
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: chaos convergence under rollback, where a stale delta base
 // would surface as a digest divergence (a receiver gating/merging on values
 // the restarted sender never re-reached).

@@ -1,14 +1,15 @@
 // Tests for the socket transport seam: frame codec hardening (magic,
 // version, corrupt length prefixes), partial write / short read reassembly,
 // per-channel FIFO over real sockets, peer-vanishes-mid-frame recovery, the
-// incarnation hello, and zero-copy delivery (one shared block per received
-// packet).
+// incarnation hello, zero-copy delivery (one shared block per received
+// packet), and bounded writer-queue backpressure against slow readers.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -369,6 +370,120 @@ TEST(SocketTransport, PeerVanishingMidFrameIsCountedTruncation) {
   EXPECT_EQ(mesh[1].stats().packets_delivered, 0u);
   mesh[0].send(make(0, 1, 2));
   ASSERT_TRUE(pop_within(mesh[1], 1).has_value());
+}
+
+// --- Writer-queue backpressure ----------------------------------------------
+
+TEST(SocketTransport, SlowReaderBoundsWriterQueueAndBlocksProducer) {
+  // The unbounded-writer-queue bug: a peer that stops reading used to let
+  // the sender's per-peer queue grow without limit (RSS explosion during
+  // recovery storms).  Stand in a raw listener for endpoint 1 that accepts
+  // but does not read, and check that (a) the producer blocks after the
+  // bounded queue fills, (b) the high-water mark respects the cap, and
+  // (c) draining the socket releases the producer — no kill needed.
+  char tmpl[] = "/tmp/windar_sock_XXXXXX";
+  const std::string dir = ::mkdtemp(tmpl);
+  const std::string path = SocketTransport::socket_path(dir, 1);
+  const int srv = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(srv, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(srv, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  ASSERT_EQ(::listen(srv, 4), 0);
+
+  SocketTransportOptions o;
+  o.endpoints = 2;
+  o.self = 0;
+  o.dir = dir;
+  o.sndbuf_bytes = 4096;             // tiny kernel buffer: stall fast
+  o.writer_queue_max_packets = 8;
+  o.writer_queue_max_bytes = 32u * 1024;
+  auto t = std::make_unique<SocketTransport>(o);
+
+  constexpr int kSends = 300;
+  std::atomic<int> sent{0};
+  std::thread producer([&] {
+    for (std::uint64_t i = 1; i <= kSends; ++i) {
+      t->send(make(0, 1, i, 4096));
+      sent.fetch_add(1);
+    }
+  });
+
+  // The producer must stall well short of kSends: cap + one in-write packet
+  // + the few the 4 KiB kernel buffer absorbs.
+  std::this_thread::sleep_for(300ms);
+  const int stalled_at = sent.load();
+  std::this_thread::sleep_for(200ms);
+  EXPECT_EQ(sent.load(), stalled_at);  // fully blocked, not trickling
+  EXPECT_LT(stalled_at, kSends / 2);
+  const std::uint64_t hwm = t->stats().writer_queue_hwm;
+  EXPECT_GT(hwm, 0u);
+  // reserve admits a packet only while queued_bytes < max, so the peak can
+  // overshoot by at most one frame.
+  EXPECT_LE(hwm, o.writer_queue_max_bytes + 5u * 1024);
+
+  // A reader showing up is enough to finish the job — backpressure releases
+  // without any fault-path involvement.
+  std::thread drainer([&] {
+    const int conn = ::accept(srv, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    char buf[65536];
+    while (::read(conn, buf, sizeof(buf)) > 0) {
+    }
+    ::close(conn);
+  });
+  producer.join();
+  EXPECT_EQ(sent.load(), kSends);
+  t->shutdown();  // closes the stream; the drainer sees EOF
+  drainer.join();
+  t.reset();
+  ::close(srv);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(SocketTransport, KillReleasesBackpressuredProducer) {
+  // Same stall, but the peer is declared dead instead of catching up: the
+  // blocked send must return (dead-drop accounting) rather than hang.
+  char tmpl[] = "/tmp/windar_sock_XXXXXX";
+  const std::string dir = ::mkdtemp(tmpl);
+  const std::string path = SocketTransport::socket_path(dir, 1);
+  const int srv = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(srv, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(srv, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(srv, 4), 0);
+
+  SocketTransportOptions o;
+  o.endpoints = 2;
+  o.self = 0;
+  o.dir = dir;
+  o.sndbuf_bytes = 4096;
+  o.writer_queue_max_packets = 4;
+  auto t = std::make_unique<SocketTransport>(o);
+
+  constexpr int kSends = 64;
+  std::atomic<int> sent{0};
+  std::thread producer([&] {
+    for (std::uint64_t i = 1; i <= kSends; ++i) {
+      t->send(make(0, 1, i, 4096));
+      sent.fetch_add(1);
+    }
+  });
+  std::this_thread::sleep_for(300ms);
+  EXPECT_LT(sent.load(), kSends);
+  t->kill(1);
+  producer.join();
+  EXPECT_EQ(sent.load(), kSends);
+  t->shutdown();
+  t.reset();
+  ::close(srv);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 // --- Chaos parity -----------------------------------------------------------

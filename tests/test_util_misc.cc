@@ -1,8 +1,10 @@
-// Tests for the CLI option parser, the table printer, and the clock helpers.
+// Tests for the CLI option parser, the table printer, the clock helpers,
+// and the dynamic rank bitset.
 #include <gtest/gtest.h>
 
 #include <thread>
 
+#include "util/bitset.h"
 #include "util/clock.h"
 #include "util/options.h"
 #include "util/table.h"
@@ -107,6 +109,44 @@ TEST(Clock, MonotonicNow) {
   const auto a = now_ns();
   const auto b = now_ns();
   EXPECT_LE(a, b);
+}
+
+TEST(RankBitset, SetTestAcrossWordBoundary) {
+  RankBitset b;
+  EXPECT_TRUE(b.empty());
+  for (int r : {0, 63, 64, 127, 128, 1000}) {
+    EXPECT_FALSE(b.test(r));
+    b.set(r);
+    EXPECT_TRUE(b.test(r));
+  }
+  EXPECT_FALSE(b.empty());
+  EXPECT_FALSE(b.test(65));
+  EXPECT_FALSE(b.test(999));
+  EXPECT_FALSE(b.test(1001));
+}
+
+TEST(RankBitset, MergeIsSetUnionWithMixedWidths) {
+  RankBitset small = RankBitset::of(3, 40);     // inline word only
+  const RankBitset wide = RankBitset::of(64, 200);
+  small.merge(wide);
+  for (int r : {3, 40, 64, 200}) EXPECT_TRUE(small.test(r));
+  // Merging a narrow set into a wide one must not shrink the spill.
+  RankBitset wide2 = RankBitset::of(200);
+  wide2.merge(RankBitset::of(1));
+  EXPECT_TRUE(wide2.test(200));
+  EXPECT_TRUE(wide2.test(1));
+}
+
+TEST(RankBitset, SaveLoadRoundTrips) {
+  RankBitset b = RankBitset::of(5, 70);
+  b.set(500);
+  ByteWriter w;
+  b.save(w);
+  ByteReader r(w.view());
+  const RankBitset back = RankBitset::load(r);
+  for (int k : {5, 70, 500}) EXPECT_TRUE(back.test(k));
+  EXPECT_FALSE(back.test(6));
+  EXPECT_FALSE(back.test(64));
 }
 
 }  // namespace
