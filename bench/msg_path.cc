@@ -88,7 +88,7 @@ ft::ProtocolKind parse_protocol(const std::string& s) {
 // the sweep exposes.
 void run_contention(int ranks, const std::vector<int>& sizes,
                     const std::vector<int>& shard_counts, int msgs_opt,
-                    bool csv) {
+                    bool csv, JsonRows* json) {
   util::Table table({"payload B", "shards", "msgs", "wall ms", "msgs/s",
                      "MB/s", "vs first"});
   for (int size : sizes) {
@@ -128,6 +128,18 @@ void run_contention(int ranks, const std::vector<int>& sizes,
                  std::to_string(static_cast<long long>(total_msgs)),
                  fmt(wall_ms, 1), fmt(rate, 0), fmt(rate * size / 1e6, 1),
                  fmt(rate / first_rate, 2) + "x"});
+      if (json) {
+        json->field("mode", std::string("contend"))
+            .field("payload_b", size)
+            .field("shards", shards)
+            .field("ranks", ranks)
+            .field("msgs", static_cast<std::uint64_t>(total_msgs))
+            .field("wall_ms", wall_ms)
+            .field("msgs_per_s", rate)
+            .field("mb_per_s", rate * size / 1e6)
+            .field("speedup_vs_first", rate / first_rate);
+        json->end_row();
+      }
     }
   }
   table.print("msg_path --contend — " + std::to_string(ranks / 2) +
@@ -142,7 +154,7 @@ void run_contention(int ranks, const std::vector<int>& sizes,
 // payload buffer is shared by every send; whatever the wire adds per
 // message shows up as allocs.
 void run_socket(int ranks, const std::vector<int>& sizes, int msgs_opt,
-                bool csv) {
+                bool csv, JsonRows* json) {
   WINDAR_CHECK(ranks >= 2 && ranks % 2 == 0) << "--ranks must be even";
   util::Table table({"payload B", "msgs", "wall ms", "msgs/s", "MB/s",
                      "allocs/msg", "alloc B/msg", "alloc/payload"});
@@ -203,6 +215,18 @@ void run_socket(int ranks, const std::vector<int>& sizes, int msgs_opt,
                fmt(rate, 0), fmt(rate * size / 1e6, 1), fmt(allocs_per_msg),
                fmt(alloc_bytes_per_msg, 0),
                fmt(alloc_bytes_per_msg / size, 2)});
+    if (json) {
+      json->field("mode", std::string("socket"))
+          .field("payload_b", size)
+          .field("ranks", ranks)
+          .field("msgs", static_cast<std::uint64_t>(total))
+          .field("wall_ms", wall_ms)
+          .field("msgs_per_s", rate)
+          .field("mb_per_s", rate * size / 1e6)
+          .field("allocs_per_msg", allocs_per_msg)
+          .field("alloc_bytes_per_msg", alloc_bytes_per_msg);
+      json->end_row();
+    }
     for (auto& t : nodes) t->shutdown();
     std::error_code ec;
     std::filesystem::remove_all(dir, ec);
@@ -231,6 +255,8 @@ int main(int argc, char** argv) {
   const auto shard_sweep =
       opts.int_list("shard-sweep", {1, 4}, "shard counts for --contend");
   const bool csv = opts.flag("csv", false, "also print CSV");
+  const std::string json_path = opts.str(
+      "json", "", "also write rows as a JSON array to this path");
   const std::string transport_s = opts.str(
       "transport", to_string(net::default_transport()),
       "sim | socket (raw AF_UNIX streams, in-process mesh)");
@@ -240,13 +266,23 @@ int main(int argc, char** argv) {
   WINDAR_CHECK(net::parse_transport(transport_s, &transport))
       << "unknown transport '" << transport_s << "'";
 
-  if (transport == net::TransportKind::kSocket) {
-    run_socket(ranks, sizes, msgs_opt, csv);
+  JsonRows json_rows;
+  JsonRows* const json = json_path.empty() ? nullptr : &json_rows;
+  const auto write_json = [&] {
+    if (json && !json_rows.write(json_path)) {
+      std::fprintf(stderr, "msg_path: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
     return 0;
+  };
+
+  if (transport == net::TransportKind::kSocket) {
+    run_socket(ranks, sizes, msgs_opt, csv, json);
+    return write_json();
   }
   if (contend) {
-    run_contention(ranks, sizes, shard_sweep, msgs_opt, csv);
-    return 0;
+    run_contention(ranks, sizes, shard_sweep, msgs_opt, csv, json);
+    return write_json();
   }
 
   util::Table table({"payload B", "msgs", "wall ms", "msgs/s", "MB/s",
@@ -297,10 +333,27 @@ int main(int argc, char** argv) {
                fmt(res.wall_ms, 1), fmt(msgs_per_s, 0), fmt(mb_per_s, 1),
                fmt(allocs_per_msg), fmt(alloc_bytes_per_msg, 0),
                fmt(copied_per_msg, 0)});
+    if (json) {
+      const char* inbox_env = std::getenv("WINDAR_INBOX");
+      json->field("mode", std::string("sim"))
+          .field("protocol", to_string(protocol))
+          .field("inbox", std::string(inbox_env ? inbox_env : "ring"))
+          .field("payload_b", size)
+          .field("ranks", ranks)
+          .field("msgs", res.total.app_sent)
+          .field("wall_ms", res.wall_ms)
+          .field("msgs_per_s", msgs_per_s)
+          .field("mb_per_s", mb_per_s)
+          .field("allocs_per_msg", allocs_per_msg)
+          .field("alloc_bytes_per_msg", alloc_bytes_per_msg)
+          .field("log_copies_b_per_msg", copied_per_msg)
+          .field("packets_recycled", res.total.packets_recycled);
+      json->end_row();
+    }
   }
 
   table.print("msg_path — send->deliver throughput and allocations (" +
               to_string(protocol) + ", " + std::to_string(ranks) + " ranks)");
   if (csv) std::fputs(table.csv().c_str(), stdout);
-  return 0;
+  return write_json();
 }

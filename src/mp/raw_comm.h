@@ -27,9 +27,14 @@ class RawComm final : public Comm {
   bool probe(int src, int tag) override;
 
  private:
-  /// Pulls one packet from the inbox (blocking) into the ready/pending
+  /// Pulls at least one packet from the inbox (blocking for the first, then
+  /// draining whatever else is ready in one batch) into the ready/pending
   /// structures.  Returns false if the endpoint was poisoned.
   bool pump();
+  /// Files one arrived packet: straight to ready_ when it is the next
+  /// expected seq from its sender (the overwhelmingly common case — the
+  /// fabric keeps per-pair FIFO), else parked in out_of_order_.
+  void admit(net::Packet&& pkt);
   void promote(int src);
 
   net::Transport& transport_;
@@ -39,6 +44,7 @@ class RawComm final : public Comm {
   std::vector<std::uint64_t> next_recv_;   // per-source expected seq
   std::map<std::pair<int, std::uint64_t>, net::Packet> out_of_order_;
   std::deque<Message> ready_;              // FIFO-restored, arrival order
+  std::vector<net::Packet> batch_;         // pump() scratch (reused capacity)
 };
 
 }  // namespace windar::mp

@@ -2,10 +2,27 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace windar::net {
+
+namespace {
+// How long a cut-through sender parks on a full destination ring before
+// re-routing the packet through the shard scheduler.  Long enough that the
+// consumer's batch drain usually ends the episode (one scheduling quantum),
+// short enough that a chain of mutually-bursting ranks makes progress.
+constexpr std::chrono::milliseconds kCutThroughPatience{2};
+
+// Cut-through is a small-message optimization: above this wire size the
+// workload is memory-bandwidth-bound and the pipelined shard path measures
+// faster (bench/msg_path --contend: 64 B-1 KiB payloads gain 2-4x from
+// cut-through, 2 KiB+ lose ~35%), so bulk packets keep the shard hop.  The
+// bound covers a 1 KiB payload plus headers and a piggyback block — the
+// protocol's hot shapes.
+constexpr std::size_t kCutThroughMaxWire = 1152;
+}  // namespace
 
 int Fabric::default_shards() {
   if (const char* env = std::getenv("WINDAR_FABRIC_SHARDS")) {
@@ -17,14 +34,16 @@ int Fabric::default_shards() {
 }
 
 Fabric::Fabric(int endpoints, LatencyModel model, std::uint64_t seed,
-               int num_shards)
+               int num_shards, std::optional<InboxConfig> inbox)
     : model_(model) {
   WINDAR_CHECK_GT(endpoints, 0) << "fabric needs at least one endpoint";
   if (num_shards <= 0) num_shards = default_shards();
   num_shards = std::min(num_shards, endpoints);
+  const InboxConfig inbox_cfg =
+      inbox.has_value() ? *inbox : resolve_inbox_config(endpoints);
   eps_.reserve(static_cast<std::size_t>(endpoints));
   for (int i = 0; i < endpoints; ++i) {
-    eps_.push_back(std::make_unique<Endpoint>());
+    eps_.push_back(std::make_unique<Endpoint>(inbox_cfg));
   }
   util::Rng seeder(seed);
   shards_.reserve(static_cast<std::size_t>(num_shards));
@@ -35,6 +54,22 @@ Fabric::Fabric(int endpoints, LatencyModel model, std::uint64_t seed,
     // generator family, deterministic in the seed).
     shard->rng = seeder.split(static_cast<std::uint64_t>(s));
     shards_.push_back(std::move(shard));
+  }
+  // Zero-latency cut-through: when the model has no delay to enforce, the
+  // sender thread can deliver straight into the destination inbox — no shard
+  // hop, no scheduler wakeup.  WINDAR_FABRIC_CUTTHROUGH=0|off forces every
+  // packet through the shard schedulers (A/B runs, bisects).
+  if (model_.is_zero()) {
+    cut_through_ = true;
+    if (const char* env = std::getenv("WINDAR_FABRIC_CUTTHROUGH")) {
+      if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) {
+        cut_through_ = false;
+      }
+    }
+  }
+  if (cut_through_) {
+    shard_pending_ = std::make_unique<std::atomic<std::uint32_t>[]>(
+        static_cast<std::size_t>(endpoints));
   }
   for (auto& shard : shards_) {
     shard->thread = std::thread([this, sh = shard.get()] {
@@ -53,31 +88,80 @@ Endpoint& Fabric::endpoint(EndpointId id) {
 void Fabric::send(Packet p) {
   WINDAR_CHECK(p.dst >= 0 && p.dst < endpoint_count())
       << "send to bad endpoint " << p.dst;
+  const int dst_id = p.dst;
+  FaultSchedule* chaos = chaos_.load(std::memory_order_acquire);
+  // Zero-latency cut-through: with no delay to model and no chaos installed,
+  // deliver from the sender thread — no shard enqueue, no scheduler wakeup,
+  // no heap op.  Gated on shard_pending_ so a packet that previously fell
+  // back to the shard (full ring) is never overtaken on its own channel:
+  // same-channel sends are serialized at the sender, so seeing pending == 0
+  // (acquire, against the scheduler's release decrement) means every earlier
+  // shard-routed packet for this destination already landed.  offer() parks
+  // at most kCutThroughPatience on a full ring — never indefinitely (two
+  // mutually-bursting ranks would deadlock) — then re-routes through the
+  // shard, whose queue is the buffering a bounded ring refuses.
+  const std::size_t wire_bytes = p.wire_size();
+  if (cut_through_ && chaos == nullptr && wire_bytes <= kCutThroughMaxWire &&
+      shard_pending_[static_cast<std::size_t>(dst_id)].load(
+          std::memory_order_acquire) == 0) {
+    const std::size_t bytes = wire_bytes;
+    Endpoint& dst = *eps_[static_cast<std::size_t>(dst_id)];
+    if (!dst.alive()) {
+      direct_.sent.fetch_add(1, std::memory_order_relaxed);
+      direct_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+      direct_.dropped_dead.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    switch (dst.inbox_.offer(p, kCutThroughPatience)) {
+      case Inbox::PushOutcome::kAccepted:
+        direct_.sent.fetch_add(1, std::memory_order_relaxed);
+        direct_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+        direct_.delivered.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case Inbox::PushOutcome::kDead:
+        direct_.sent.fetch_add(1, std::memory_order_relaxed);
+        direct_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+        direct_.dropped_dead.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case Inbox::PushOutcome::kFull:
+        break;  // fall through to the buffered shard path, p still intact
+    }
+  }
   // Chaos triggers run before enqueue and outside any shard lock: a kill
   // fired here may re-enter the fabric (kill()).  A kill targeting the
   // sender itself drops the triggering packet (the crash interrupted the
   // send); kills of other endpoints leave it in flight (packets survive
   // their sender's death).
   FaultSchedule::SendEffects fx;
-  if (FaultSchedule* chaos = chaos_.load(std::memory_order_acquire)) {
+  if (chaos != nullptr) {
     fx = chaos->on_send(p);
     if (fx.drop) {
       // The send was attempted, so it counts toward packets_sent — the
       // dedicated chaos counter keeps the dead-destination signal
       // (packets_dropped_dead) clean for the chaos soaks.  No wire bytes:
       // the packet never left the crashing sender.
-      Shard& sh = shard_for(p.dst);
+      Shard& sh = shard_for(dst_id);
       std::scoped_lock lock(sh.mu);
       ++sh.stats.packets_sent;
       ++sh.stats.packets_dropped_chaos;
       return;
     }
   }
-  const std::size_t bytes = p.wire_size();
-  Shard& sh = shard_for(p.dst);
+  const std::size_t bytes = wire_bytes;
+  Shard& sh = shard_for(dst_id);
+  bool wake;
   {
     std::scoped_lock lock(sh.mu);
     if (sh.stopping) return;
+    const bool was_empty = sh.in_flight.empty();
+    const auto old_top = was_empty ? std::chrono::steady_clock::time_point{}
+                                   : sh.in_flight.top().deliver_at;
+    if (cut_through_) {
+      // Bump before the packet becomes visible to the scheduler, under the
+      // shard lock, so the count never reads below the true in-shard total.
+      shard_pending_[static_cast<std::size_t>(dst_id)].fetch_add(
+          fx.duplicate ? 2 : 1, std::memory_order_release);
+    }
     const auto now = std::chrono::steady_clock::now();
     if (fx.duplicate) {
       // Independent latency draw: the duplicate frequently overtakes the
@@ -93,8 +177,14 @@ void Fabric::send(Packet p) {
     sh.stats.bytes_sent += bytes;
     sh.in_flight.push(InFlight{now + delay, next_order_.fetch_add(1),
                                std::move(p)});
+    // Wake the scheduler only when this send changed what it is waiting
+    // for: an empty→non-empty transition, or a new earliest deadline.  A
+    // packet behind the current top needs no notify — the scheduler's
+    // wait_until(top) fires in time for it regardless — and skipping the
+    // syscall keeps a hot sender from paying a futex wake per message.
+    wake = was_empty || sh.in_flight.top().deliver_at < old_top;
   }
-  sh.cv.notify_one();
+  if (wake) sh.cv.notify_one();
 }
 
 void Fabric::kill(EndpointId id) {
@@ -112,6 +202,12 @@ void Fabric::revive(EndpointId id) {
 
 void Fabric::shutdown() {
   if (shutdown_.exchange(true)) return;
+  // Poison inboxes BEFORE joining the shard threads: a scheduler blocked
+  // pushing into a full bounded ring (whose consumer already exited) can
+  // only observe `stopping` after the push returns, and poison is what makes
+  // it return.  The dropped packets book as dropped_dead, which shutdown's
+  // "undelivered packets are discarded" contract already allows.
+  for (auto& ep : eps_) ep->inbox_.poison();
   for (auto& shard : shards_) {
     {
       std::scoped_lock lock(shard->mu);
@@ -122,11 +218,16 @@ void Fabric::shutdown() {
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
-  for (auto& ep : eps_) ep->inbox_.poison();
 }
 
 FabricStats Fabric::stats() const {
   FabricStats merged;
+  // Cut-through deliveries book in the lock-free direct slab.
+  merged.packets_sent = direct_.sent.load(std::memory_order_relaxed);
+  merged.packets_delivered = direct_.delivered.load(std::memory_order_relaxed);
+  merged.packets_dropped_dead =
+      direct_.dropped_dead.load(std::memory_order_relaxed);
+  merged.bytes_sent = direct_.bytes.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::scoped_lock lock(shard->mu);
     merged.merge(shard->stats);
@@ -187,6 +288,13 @@ void Fabric::scheduler_loop(Shard& sh) {
         } else {
           ++delta.packets_dropped_dead;
         }
+        if (cut_through_) {
+          // Release so a sender that reads pending == 0 (acquire) is
+          // ordered after this packet's inbox push — cut-through can never
+          // overtake a shard-routed packet on the same channel.
+          shard_pending_[static_cast<std::size_t>(dst_id)].fetch_sub(
+              1, std::memory_order_release);
+        }
       }
     } else {
       // Fast path: consecutive packets for the same destination land with
@@ -213,6 +321,10 @@ void Fabric::scheduler_loop(Shard& sh) {
         }
         delta.packets_delivered += accepted;
         delta.packets_dropped_dead += (j - i) - accepted;
+        if (cut_through_) {
+          shard_pending_[static_cast<std::size_t>(dst_id)].fetch_sub(
+              static_cast<std::uint32_t>(j - i), std::memory_order_release);
+        }
         i = j;
       }
     }

@@ -43,15 +43,16 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "net/chaos.h"
+#include "net/inbox.h"
 #include "net/latency.h"
 #include "net/packet.h"
 #include "net/transport.h"
-#include "util/queue.h"
 #include "util/rng.h"
 
 namespace windar::net {
@@ -62,8 +63,10 @@ class Fabric final : public Transport {
   /// `num_shards` scheduler threads split the endpoints by `dst %
   /// num_shards`; 0 resolves the default — the WINDAR_FABRIC_SHARDS
   /// environment variable if set, else min(4, hardware_concurrency).
+  /// `inbox` overrides the per-endpoint inbox backend/capacity; nullopt
+  /// resolves WINDAR_INBOX / WINDAR_INBOX_CAP (default: bounded MPSC ring).
   Fabric(int endpoints, LatencyModel model, std::uint64_t seed,
-         int num_shards = 0);
+         int num_shards = 0, std::optional<InboxConfig> inbox = std::nullopt);
   ~Fabric() override;
 
   Fabric(const Fabric&) = delete;
@@ -134,12 +137,32 @@ class Fabric final : public Transport {
 
   void scheduler_loop(Shard& shard);
 
+  /// Accounting slab for the zero-latency cut-through path (sender threads
+  /// deliver directly, so these can't live under any shard's mutex).
+  struct alignas(64) DirectStats {
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> dropped_dead{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
   LatencyModel model_;
   std::vector<std::unique_ptr<Endpoint>> eps_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<FaultSchedule*> chaos_{nullptr};
   std::atomic<std::uint64_t> next_order_{0};
   std::atomic<bool> shutdown_{false};
+
+  // Cut-through plumbing (active only when the latency model is identically
+  // zero and WINDAR_FABRIC_CUTTHROUGH is not "0"/"off").  shard_pending_[d]
+  // counts packets for endpoint d still inside the shard scheduler: while it
+  // is non-zero, new sends to d keep taking the shard path so a packet that
+  // fell back (full ring, chaos duplicate) is never overtaken on its own
+  // channel — that preserves the documented per-channel FIFO for zero-jitter
+  // same-size streams.
+  bool cut_through_ = false;
+  DirectStats direct_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> shard_pending_;
 };
 
 }  // namespace windar::net

@@ -41,8 +41,8 @@
 
 #include "net/packet.h"
 #include "util/buffer.h"
-#include "util/bytes.h"
 #include "util/check.h"
+#include "util/pool.h"
 
 namespace windar::net {
 
@@ -192,7 +192,7 @@ class FrameDecoder {
     if (!in_body_) {
       return {header_.data() + filled_, kFrameHeaderBytes - filled_};
     }
-    return {body_.data() + filled_, body_.size() - filled_};
+    return {body_.data() + filled_, body_len_ - filled_};
   }
 
   /// `n` bytes were written at the cursor.  May complete the header (and
@@ -204,11 +204,17 @@ class FrameDecoder {
       if (filled_ < kFrameHeaderBytes) return;
       error_ = decode_frame_header(header_, max_section_, &hdr_);
       if (error_ != FrameError::kNone) return;
-      body_.resize(std::size_t{hdr_.meta_len} + hdr_.payload_len);
+      body_len_ = std::size_t{hdr_.meta_len} + hdr_.payload_len;
+      if (body_len_ > 0) {
+        // The one buffer a received packet costs — drawn from the slab pool,
+        // so steady-state receive traffic recycles a drained packet's block
+        // instead of allocating (the kernel writes the bytes exactly once).
+        body_ = util::BlockPool::global().acquire(body_len_);
+      }
       in_body_ = true;
       filled_ = 0;
     }
-    if (in_body_ && filled_ == body_.size()) ready_ = true;
+    if (in_body_ && filled_ == body_len_) ready_ = true;
   }
 
   /// Convenience for tests and in-memory feeds: consume from `data`,
@@ -231,12 +237,13 @@ class FrameDecoder {
   /// next frame.
   std::optional<Packet> take_packet() {
     if (!ready_) return std::nullopt;
-    util::Buffer block(std::move(body_));
+    util::Buffer block =
+        util::Buffer::from_block(std::move(body_), body_len_);
     Packet p = make_packet(hdr_.src, hdr_.dst, hdr_.kind, hdr_.tag, hdr_.seq,
                            block.view(0, hdr_.meta_len),
                            block.view(hdr_.meta_len, hdr_.payload_len));
     last_incarnation_ = hdr_.incarnation;
-    body_ = util::Bytes{};
+    body_len_ = 0;
     filled_ = 0;
     in_body_ = false;
     ready_ = false;
@@ -257,7 +264,8 @@ class FrameDecoder {
   std::size_t max_section_;
   FrameHeaderBytes header_{};
   FrameHeader hdr_;
-  util::Bytes body_;
+  util::BlockRef body_;      // pooled body block for the in-progress frame
+  std::size_t body_len_ = 0;  // bytes this frame's body occupies in body_
   std::size_t filled_ = 0;
   bool in_body_ = false;
   bool ready_ = false;

@@ -19,6 +19,13 @@ struct LatencyModel {
   std::chrono::nanoseconds per_byte{80};            // ~100 Mb/s Ethernet-ish
   std::chrono::nanoseconds jitter{40'000};          // uniform [0, jitter)
 
+  /// Identically-zero model: every delay() is 0ns for every packet size.
+  /// The fabric uses this to enable the sender-side cut-through fast path
+  /// (no delay to model means no scheduler hop is needed).
+  bool is_zero() const {
+    return base.count() == 0 && per_byte.count() == 0 && jitter.count() == 0;
+  }
+
   std::chrono::nanoseconds delay(std::size_t bytes, util::Rng& rng) const {
     auto d = base + per_byte * static_cast<std::int64_t>(bytes);
     if (jitter.count() > 0) {

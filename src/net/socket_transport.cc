@@ -45,7 +45,9 @@ SocketTransport::SocketTransport(SocketTransportOptions opts)
       << opts_.endpoints;
   WINDAR_CHECK(!opts_.dir.empty()) << "socket dir required";
 
-  self_ep_ = std::make_unique<Endpoint>();
+  self_ep_ = std::make_unique<Endpoint>(
+      opts_.inbox.has_value() ? *opts_.inbox
+                              : resolve_inbox_config(opts_.endpoints));
   const auto n = static_cast<std::size_t>(opts_.endpoints);
   peer_down_ = std::make_unique<std::atomic<bool>[]>(n);
   peer_incarnation_ = std::make_unique<std::atomic<std::uint32_t>[]>(n);
@@ -239,6 +241,10 @@ void SocketTransport::revive(EndpointId id) {
 
 void SocketTransport::shutdown() {
   if (shutdown_.exchange(true)) return;
+  // Poison the hosted inbox first: the reader thread may be blocked pushing
+  // into a full bounded ring whose consumer already stopped popping — poison
+  // fails that push immediately, so the reader can reach its shutdown wake.
+  self_ep_->inbox_.poison();
   for (auto& w : writers_) {
     if (!w) continue;
     w->queue.poison();
@@ -262,7 +268,6 @@ void SocketTransport::shutdown() {
   ::close(wake_pipe_[1]);
   wake_pipe_[0] = wake_pipe_[1] = -1;
   ::unlink(socket_path(opts_.dir, opts_.self).c_str());
-  self_ep_->inbox_.poison();
 }
 
 FabricStats SocketTransport::stats() const {

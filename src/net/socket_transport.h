@@ -46,12 +46,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/chaos.h"
 #include "net/frame.h"
+#include "net/inbox.h"
 #include "net/packet.h"
 #include "net/transport.h"
 #include "util/queue.h"
@@ -77,6 +79,11 @@ struct SocketTransportOptions {
   // blocks on a dead rank.  Tests shrink these to force the blocking path.
   std::size_t writer_queue_max_packets = 4096;
   std::size_t writer_queue_max_bytes = 8u << 20;
+  // Hosted-endpoint inbox backend.  nullopt resolves WINDAR_INBOX /
+  // WINDAR_INBOX_CAP (default: bounded MPSC ring).  The launcher pins its
+  // control-plane transports to kQueue — barrier traffic must never exert
+  // ring backpressure on the data plane.
+  std::optional<InboxConfig> inbox;
 };
 
 class SocketTransport final : public Transport {

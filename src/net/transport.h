@@ -33,22 +33,26 @@
 #include <string>
 
 #include "net/chaos.h"
+#include "net/inbox.h"
 #include "net/packet.h"
-#include "util/queue.h"
 
 namespace windar::net {
 
 /// Per-endpoint view handed to rank threads: the inbox packets arrive on and
-/// the liveness flag the fault plane flips.
+/// the liveness flag the fault plane flips.  The inbox backend (bounded MPSC
+/// ring or legacy BlockingQueue) is fixed at construction — see net/inbox.h.
 class Endpoint {
  public:
-  util::BlockingQueue<Packet>& inbox() { return inbox_; }
+  Endpoint() : inbox_(resolve_inbox_config(1)) {}
+  explicit Endpoint(const InboxConfig& cfg) : inbox_(cfg) {}
+
+  Inbox& inbox() { return inbox_; }
   bool alive() const { return alive_.load(std::memory_order_acquire); }
 
  private:
   friend class Fabric;
   friend class SocketTransport;
-  util::BlockingQueue<Packet> inbox_;
+  Inbox inbox_;
   std::atomic<bool> alive_{true};
 };
 

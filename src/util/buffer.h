@@ -15,6 +15,9 @@
 //                   few bytes inline);
 //   * shared heap — one refcounted block; `view()` slices alias it without
 //                   copying, and the block lives until the last view dies.
+//                   copy_of/from_block draw the block from util::BlockPool
+//                   (intrusive refcount, slab-recycled when the last view
+//                   dies); Buffer(Bytes&&) adoption keeps a shared_ptr owner.
 //
 // Construction is copy-once by design:
 //   * Buffer(Bytes&&)   adopts an existing vector (the ByteWriter emission
@@ -40,6 +43,7 @@
 
 #include "util/bytes.h"
 #include "util/check.h"
+#include "util/pool.h"
 
 namespace windar::util {
 
@@ -71,25 +75,51 @@ class Buffer {
                                                      init.size()))) {}
 
   /// The one deliberate copy on the message path: duplicates caller-owned
-  /// bytes into this buffer (inline if small, else one shared allocation).
+  /// bytes into this buffer (inline if small, else one shared block drawn
+  /// from the slab pool — steady-state sends recycle a drained packet's
+  /// block instead of touching the allocator).
   static Buffer copy_of(std::span<const std::uint8_t> src) {
     Buffer b;
     if (src.size() <= kInlineCapacity) {
       b.set_inline(src.data(), src.size());
       return b;
     }
-    // Single allocation: control block and bytes live together.
-    auto block = std::make_shared_for_overwrite<std::uint8_t[]>(src.size());
-    std::memcpy(block.get(), src.data(), src.size());
-    b.ptr_ = block.get();
-    b.len_ = src.size();
-    b.owner_ = std::move(block);
-    heap_blocks_.fetch_add(1, std::memory_order_relaxed);
+    BlockRef blk = BlockPool::global().acquire(src.size());
+    std::memcpy(blk.data(), src.data(), src.size());
+    if (!blk.recycled()) {
+      heap_blocks_.fetch_add(1, std::memory_order_relaxed);
+    }
     bytes_copied_.fetch_add(src.size(), std::memory_order_relaxed);
+    b.ptr_ = blk.data();
+    b.len_ = src.size();
+    b.block_ = std::move(blk);
     return b;
   }
 
-  const std::uint8_t* data() const { return owner_ ? ptr_ : sbo_.data(); }
+  /// Adopts a pool block the caller already filled (the frame decoder's
+  /// receive path: the kernel wrote the bytes straight into `blk`).  Small
+  /// regions collapse inline and return the block to the pool immediately.
+  static Buffer from_block(BlockRef blk, std::size_t len) {
+    Buffer b;
+    if (len == 0) return b;
+    WINDAR_CHECK(blk && len <= blk.capacity())
+        << "Buffer::from_block length exceeds block capacity";
+    if (len <= kInlineCapacity) {
+      b.set_inline(blk.data(), len);
+      return b;
+    }
+    if (!blk.recycled()) {
+      heap_blocks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    b.ptr_ = blk.data();
+    b.len_ = len;
+    b.block_ = std::move(blk);
+    return b;
+  }
+
+  const std::uint8_t* data() const {
+    return owner_ || block_ ? ptr_ : sbo_.data();
+  }
   std::size_t size() const { return len_; }
   bool empty() const { return len_ == 0; }
 
@@ -104,7 +134,7 @@ class Buffer {
   Buffer view(std::size_t offset, std::size_t len) const {
     WINDAR_CHECK_LE(offset + len, len_) << "Buffer::view out of range";
     Buffer b;
-    if (!owner_) {
+    if (!owner_ && !block_) {
       // Inline buffers never exceed the SBO array; restating that here also
       // lets the compiler's bounds analysis see it.
       WINDAR_CHECK_LE(offset + len, kInlineCapacity);
@@ -112,6 +142,7 @@ class Buffer {
       return b;
     }
     b.owner_ = owner_;
+    b.block_ = block_;
     b.ptr_ = ptr_ + offset;
     b.len_ = len;
     return b;
@@ -120,11 +151,17 @@ class Buffer {
   /// True when both buffers alias the same heap block (the copy-once
   /// invariant tests assert this for packet vs. log entry).
   bool shares_storage_with(const Buffer& other) const {
-    return owner_ != nullptr && owner_ == other.owner_;
+    if (owner_ != nullptr && owner_ == other.owner_) return true;
+    return block_ && block_.id() == other.block_.id();
   }
 
   /// True when the bytes live inside this object (no shared heap block).
-  bool inline_storage() const { return owner_ == nullptr; }
+  bool inline_storage() const { return owner_ == nullptr && !block_; }
+
+  /// True when the backing storage is a recycled pool block (no fresh heap
+  /// allocation happened for this buffer) — drives Metrics accounting so
+  /// recycled packets are not double-counted as fresh allocations.
+  bool recycled() const { return block_ && block_.recycled(); }
 
   /// Explicit copy out, for callers that need mutable/owned bytes.
   Bytes to_vector() const { return Bytes(begin(), end()); }
@@ -139,9 +176,16 @@ class Buffer {
 
   // ---- process-wide accounting (bench/msg_path, Metrics) ----
 
-  /// Shared heap blocks created since process start (adopt + copy_of).
+  /// Fresh shared heap blocks created since process start (adopt + copy_of
+  /// + from_block); recycled pool blocks are deliberately excluded — see
+  /// blocks_recycled().
   static std::uint64_t heap_blocks_created() {
     return heap_blocks_.load(std::memory_order_relaxed);
+  }
+  /// Pool blocks reused instead of freshly allocated (process-wide; counts
+  /// every BlockPool acquire that hit a free list, Buffer-backed or not).
+  static std::uint64_t blocks_recycled() {
+    return BlockPool::blocks_recycled();
   }
   /// Bytes duplicated through copy_of since process start.
   static std::uint64_t total_bytes_copied() {
@@ -157,7 +201,8 @@ class Buffer {
   inline static std::atomic<std::uint64_t> heap_blocks_{0};
   inline static std::atomic<std::uint64_t> bytes_copied_{0};
 
-  std::shared_ptr<const void> owner_;   // null: inline (or empty)
+  std::shared_ptr<const void> owner_;   // adoption path (Bytes&&); else null
+  BlockRef block_;                      // pool path (copy_of / from_block)
   const std::uint8_t* ptr_ = nullptr;   // heap view; unused when inline
   std::size_t len_ = 0;
   std::array<std::uint8_t, kInlineCapacity> sbo_{};

@@ -9,6 +9,7 @@
 // wire.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -28,7 +29,10 @@ class ByteWriter {
   ByteWriter() = default;
   explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u8(std::uint8_t v) {
+    ensure(1);
+    buf_.push_back(v);
+  }
   void u16(std::uint16_t v) { put_le(v); }
   void u32(std::uint32_t v) { put_le(v); }
   void u64(std::uint64_t v) { put_le(v); }
@@ -49,11 +53,13 @@ class ByteWriter {
 
   /// Raw bytes without a length prefix (caller knows the framing).
   void raw(std::span<const std::uint8_t> data) {
+    ensure(data.size());
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
 
   void str(std::string_view s) {
     u32(static_cast<std::uint32_t>(s.size()));
+    ensure(s.size());
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
@@ -75,8 +81,19 @@ class ByteWriter {
  private:
   template <typename T>
   void put_le(T v) {
+    ensure(sizeof(T));
     for (std::size_t i = 0; i < sizeof(T); ++i) {
       buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  /// Grows straight to a useful capacity instead of letting the vector
+  /// double through 1/2/4/8-byte steps — a fresh writer encoding a small
+  /// piggyback or header costs one allocation, not five.
+  void ensure(std::size_t extra) {
+    const std::size_t need = buf_.size() + extra;
+    if (need > buf_.capacity()) {
+      buf_.reserve(std::max({std::size_t{48}, need, 2 * buf_.capacity()}));
     }
   }
 

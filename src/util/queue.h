@@ -77,8 +77,17 @@ class BlockingQueue {
   /// poison, or deadline — whichever lands first.
   std::optional<T> pop_until(Clock::time_point deadline) {
     std::unique_lock lock(mu_);
-    cv_.wait_until(lock, deadline,
-                   [&] { return poisoned_ || !items_.empty(); });
+    // Loop, not a single predicate wait: a WaitSet slice can return
+    // spuriously before the deadline with the predicate still false (the
+    // cooperative backend trades exactness for tick-bounded parks).  Only a
+    // deadline observed *under the lock* with the queue still empty is a
+    // real timeout — otherwise an item pushed between the wake and the
+    // return would be reported as a timeout to a caller that then sleeps.
+    while (!poisoned_ && items_.empty()) {
+      if (Clock::now() >= deadline) break;
+      cv_.wait_until(lock, deadline,
+                     [&] { return poisoned_ || !items_.empty(); });
+    }
     return take_locked();
   }
 

@@ -63,6 +63,11 @@ class ChannelState {
   /// lock acquisition, used by the delivery scan and the ROLLBACK broadcast.
   std::pair<std::vector<SeqNo>, SeqNo> deliver_snapshot() const;
 
+  /// Same snapshot assigned into a caller-owned vector (steady-state reuse
+  /// keeps the per-recv delivery scan allocation-free).  Returns
+  /// delivered_total.
+  SeqNo deliver_snapshot_into(std::vector<SeqNo>& out) const;
+
   // ---- recovery choreography ----
 
   /// A ROLLBACK from incarnation `epoch` of `from` announced it restored to

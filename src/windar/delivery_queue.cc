@@ -61,7 +61,11 @@ std::size_t DeliveryQueue::find_locked(int src, int tag) const {
   if (!gate_open_.load(std::memory_order_acquire)) {
     return kNpos;  // PWD protocols: determinants first
   }
-  const auto [last_deliver, delivered_total] = channels_.deliver_snapshot();
+  // Scratch-vector snapshot: find_locked runs on every recv attempt, so the
+  // copy reuses deliver_scratch_'s capacity instead of allocating (safe:
+  // callers hold mu_, which also serializes the scratch).
+  const SeqNo delivered_total = channels_.deliver_snapshot_into(deliver_scratch_);
+  const std::vector<SeqNo>& last_deliver = deliver_scratch_;
   return tracker_.with([&](const LoggingProtocol& proto) {
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       const QueuedMsg& m = queue_[i];

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "mp/comm.h"
 #include "net/packet.h"
@@ -99,6 +100,9 @@ class DeliveryQueue {
   // unchanged from the condition_variable version.
   util::WaitSet cv_;
   std::deque<QueuedMsg> queue_;
+  // Reused by find_locked's channel snapshot (guarded by mu_; mutable because
+  // the find path is const).
+  mutable std::vector<SeqNo> deliver_scratch_;
 
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
   static constexpr std::chrono::microseconds kTick{2000};

@@ -259,6 +259,9 @@ int run_worker(const WorkerConfig& cfg, const WorkerFn& fn) {
   copt.self = cfg.rank;
   copt.dir = cfg.dir + "/ctrl";
   copt.incarnation = cfg.incarnation;
+  // Control plane stays on the unbounded queue: a barrier or exit message
+  // must never block behind data-plane ring backpressure.
+  copt.inbox = net::InboxConfig{net::InboxKind::kQueue, 0};
   net::SocketTransport ctrl(copt);
 
   CheckpointStore store(cfg.dir + "/ckpt");
@@ -405,6 +408,8 @@ MultiProcResult run_multiproc_job(const LaunchSpec& spec) {
   copt.endpoints = n + 1;
   copt.self = launcher_ep;
   copt.dir = dir + "/ctrl";
+  // Control plane stays on the unbounded queue (see the worker side).
+  copt.inbox = net::InboxConfig{net::InboxKind::kQueue, 0};
   net::SocketTransport ctrl(copt);
 
   // TEL/PES: the launcher hosts the stable-storage event-logger shards on

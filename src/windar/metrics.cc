@@ -21,6 +21,7 @@ void Metrics::merge(const Metrics& o) {
   payload_bytes += o.payload_bytes;
   bytes_copied += o.bytes_copied;
   buffer_allocs += o.buffer_allocs;
+  packets_recycled += o.packets_recycled;
   track_send_ns += o.track_send_ns;
   track_deliver_ns += o.track_deliver_ns;
   send_block_ns += o.send_block_ns;

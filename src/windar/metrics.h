@@ -37,10 +37,13 @@ struct Metrics {
 
   // zero-copy plane: what the send path actually materialises.  Copy-once
   // means bytes_copied == payload_bytes (each app payload duplicated into
-  // exactly one shared buffer) and buffer_allocs counts the shared heap
-  // blocks created per send (0 for inline-sized messages).
+  // exactly one shared buffer).  buffer_allocs counts *fresh* heap blocks
+  // created per send (0 for inline-sized messages); a block reused off the
+  // slab pool's free list books under packets_recycled instead — the two
+  // never overlap, so allocs + recycled is the non-inline section count.
   std::uint64_t bytes_copied = 0;
   std::uint64_t buffer_allocs = 0;
+  std::uint64_t packets_recycled = 0;
 
   // tracking time: CPU spent inside protocol code on the application thread
   std::int64_t track_send_ns = 0;

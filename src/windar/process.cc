@@ -224,9 +224,12 @@ std::string Process::debug_state() const {
     std::scoped_lock lock(dbg_mu_);
     api = last_api_;
   }
+  const auto& inbox = transport_.endpoint(params_.rank).inbox();
   std::string out = "[" + api + "] rank " + std::to_string(params_.rank) +
                     "." + std::to_string(params_.incarnation) +
                     recovery_.debug_string() +
+                    " inbox=" + std::to_string(inbox.size()) +
+                    (inbox.poisoned() ? "P" : "") +
                     " delivered=" + std::to_string(channels_.delivered_total()) +
                     " " + delivery_.debug_string() + " " +
                     tracker_.with([](const LoggingProtocol& proto) {

@@ -281,8 +281,15 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
           std::this_thread::sleep_for(std::chrono::milliseconds(20));
           if (util::now_ms() - t0 < next) continue;
           next += period;
-          std::fprintf(stderr, "[windar stall dump @%.0fms]\n",
-                       util::now_ms() - t0);
+          const net::FabricStats fs = fabric.stats();
+          std::fprintf(stderr,
+                       "[windar stall dump @%.0fms] fabric sent=%llu "
+                       "delivered=%llu dropped_dead=%llu dropped_chaos=%llu\n",
+                       util::now_ms() - t0,
+                       static_cast<unsigned long long>(fs.packets_sent),
+                       static_cast<unsigned long long>(fs.packets_delivered),
+                       static_cast<unsigned long long>(fs.packets_dropped_dead),
+                       static_cast<unsigned long long>(fs.packets_dropped_chaos));
           for (auto& slot : slots) {
             std::scoped_lock lock(slot.mu);
             if (slot.proc) {

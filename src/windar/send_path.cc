@@ -93,8 +93,14 @@ void SendPath::send_app(int dst, int tag,
   // shared buffer, which the wire packet, the sender-log entry, and any
   // later log-driven resend all alias.
   util::Buffer body = util::Buffer::copy_of(payload);
+  // buffer_allocs counts *fresh* heap sections only — a pooled block reused
+  // off the free list books under packets_recycled instead, never both
+  // (recycling used to double-count as an alloc).
+  const std::uint64_t recycled_blocks =
+      (body.recycled() ? 1u : 0u) + (pb.blob.recycled() ? 1u : 0u);
   const std::uint64_t send_allocs =
-      (body.inline_storage() ? 0u : 1u) + (pb.blob.inline_storage() ? 0u : 1u);
+      (body.inline_storage() || body.recycled() ? 0u : 1u) +
+      (pb.blob.inline_storage() || pb.blob.recycled() ? 0u : 1u);
   net::Packet p = app_packet(params_.rank, dst, tag, idx, pb.blob, body);
 
   LogEntry e;
@@ -102,10 +108,10 @@ void SendPath::send_app(int dst, int tag,
   e.tag = tag;
   e.meta = std::move(pb.blob);
   e.payload = std::move(body);
-  log_.append(dst, std::move(e));
+  // append() hands back the log's running totals, saving two more
+  // lock-takes on the hot path.
+  const SenderLog::Totals log_totals = log_.append(dst, std::move(e));
 
-  const std::size_t log_bytes = log_.bytes();
-  const std::size_t log_entries = log_.entries();
   metrics_.update([&](Metrics& m) {
     m.track_send_ns += track_ns;
     ++m.app_sent;
@@ -117,9 +123,11 @@ void SendPath::send_app(int dst, int tag,
     m.payload_bytes += payload.size();
     m.bytes_copied += payload.size();
     m.buffer_allocs += send_allocs;
-    m.log_peak_bytes = std::max<std::uint64_t>(m.log_peak_bytes, log_bytes);
+    m.packets_recycled += recycled_blocks;
+    m.log_peak_bytes =
+        std::max<std::uint64_t>(m.log_peak_bytes, log_totals.bytes);
     m.log_peak_entries =
-        std::max<std::uint64_t>(m.log_peak_entries, log_entries);
+        std::max<std::uint64_t>(m.log_peak_entries, log_totals.entries);
   });
 
   if (params_.trace) {
@@ -169,6 +177,7 @@ void SendPath::pump_once(Clock::time_point deadline) {
 
 void SendPath::recv_loop() {
   auto& inbox = transport_.endpoint(params_.rank).inbox();
+  std::vector<net::Packet> batch;
   while (true) {
     // Idle-block unless timed work is pending (rollback retries during
     // recovery) — helper-thread wakeups are pure overhead otherwise.
@@ -179,6 +188,16 @@ void SendPath::recv_loop() {
     bool wake = false;
     if (p) {
       wake = cb_.dispatch(std::move(*p));
+      // Under load the inbox rarely holds just one packet — drain whatever
+      // else already arrived with one lock acquisition and dispatch the lot
+      // before the periodic work, so a burst costs one wakeup, not N.
+      batch.clear();
+      if (inbox.try_pop_batch(&batch, 64) > 0) {
+        for (net::Packet& q : batch) {
+          wake = cb_.dispatch(std::move(q)) || wake;
+        }
+        batch.clear();
+      }
     } else if (inbox.poisoned()) {
       cb_.transport_closed();
       return;

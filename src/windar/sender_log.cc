@@ -1,42 +1,84 @@
 #include "windar/sender_log.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace windar::ft {
 
-void SenderLog::append(int dst, LogEntry entry) {
+SenderLog::Totals SenderLog::append(int dst, LogEntry entry) {
   std::scoped_lock lock(mu_);
-  auto& q = per_dst_[static_cast<std::size_t>(dst)];
-  WINDAR_CHECK(q.empty() || q.back().send_index < entry.send_index)
+  append_locked(dst, std::move(entry));
+  return Totals{entries_, bytes_};
+}
+
+void SenderLog::append_locked(int dst, LogEntry entry) {
+  DstLog& d = per_dst_[static_cast<std::size_t>(dst)];
+  WINDAR_CHECK(!d.has_last || d.last_index < entry.send_index)
       << "sender log indices must increase (dst=" << dst << ")";
+  d.last_index = entry.send_index;
+  d.has_last = true;
+  if (d.chunks.empty() || d.chunks.back()->end == kChunkEntries) {
+    d.chunks.push_back(chunk_pool_.acquire());
+  }
+  Chunk& c = *d.chunks.back();
   bytes_ += entry.bytes();
   ++entries_;
-  q.push_back(std::move(entry));
+  ++d.count;
+  c.slots[c.end++] = std::move(entry);
 }
 
 std::size_t SenderLog::release_upto(int dst, SeqNo upto) {
   std::scoped_lock lock(mu_);
-  auto& q = per_dst_[static_cast<std::size_t>(dst)];
+  DstLog& d = per_dst_[static_cast<std::size_t>(dst)];
   std::size_t released = 0;
-  while (!q.empty() && q.front().send_index <= upto) {
-    bytes_ -= q.front().bytes();
-    --entries_;
-    ++released;
-    q.pop_front();
+  while (!d.chunks.empty()) {
+    Chunk& c = *d.chunks.front();
+    while (c.begin < c.end && c.slots[c.begin].send_index <= upto) {
+      bytes_ -= c.slots[c.begin].bytes();
+      // Reset now, not at recycle time: the entry's Buffer refs (and any
+      // pooled block behind them) must drop the moment the receiver's
+      // checkpoint covers them, even while the chunk keeps serving newer
+      // entries.
+      c.slots[c.begin] = LogEntry{};
+      ++c.begin;
+      --entries_;
+      --d.count;
+      ++released;
+    }
+    if (c.begin < c.end) break;  // front chunk still holds newer entries
+    if (c.end < kChunkEntries && d.chunks.size() == 1) {
+      // The back chunk with spare slots: keep it so the next append lands
+      // without a pool round-trip.
+      break;
+    }
+    recycle_locked(std::move(d.chunks.front()));
+    d.chunks.pop_front();
   }
   return released;
+}
+
+void SenderLog::recycle_locked(std::unique_ptr<Chunk> chunk) {
+  // Live slots were reset as begin advanced; [end, kChunkEntries) was never
+  // written this round.  Rewind the cursors and hand it back.
+  chunk->begin = 0;
+  chunk->end = 0;
+  chunk_pool_.release(std::move(chunk));
 }
 
 void SenderLog::save(util::ByteWriter& w) const {
   std::scoped_lock lock(mu_);
   w.u32(static_cast<std::uint32_t>(per_dst_.size()));
-  for (const auto& q : per_dst_) {
-    w.u32(static_cast<std::uint32_t>(q.size()));
-    for (const LogEntry& e : q) {
-      w.u32(e.send_index);
-      w.i32(e.tag);
-      w.bytes(e.meta.span());
-      w.bytes(e.payload.span());
+  for (const DstLog& d : per_dst_) {
+    w.u32(static_cast<std::uint32_t>(d.count));
+    for (const auto& chunk : d.chunks) {
+      for (std::size_t i = chunk->begin; i < chunk->end; ++i) {
+        const LogEntry& e = chunk->slots[i];
+        w.u32(e.send_index);
+        w.i32(e.tag);
+        w.bytes(e.meta.span());
+        w.bytes(e.payload.span());
+      }
     }
   }
 }
@@ -57,9 +99,7 @@ void SenderLog::restore(util::ByteReader& r) {
       e.tag = r.i32();
       e.meta = r.bytes();
       e.payload = r.bytes();
-      bytes_ += e.bytes();
-      ++entries_;
-      per_dst_[d].push_back(std::move(e));
+      append_locked(static_cast<int>(d), std::move(e));
     }
   }
 }
@@ -70,7 +110,17 @@ void SenderLog::clear() {
 }
 
 void SenderLog::clear_locked() {
-  for (auto& q : per_dst_) q.clear();
+  for (DstLog& d : per_dst_) {
+    while (!d.chunks.empty()) {
+      Chunk& c = *d.chunks.front();
+      for (std::size_t i = c.begin; i < c.end; ++i) c.slots[i] = LogEntry{};
+      recycle_locked(std::move(d.chunks.front()));
+      d.chunks.pop_front();
+    }
+    d.count = 0;
+    d.has_last = false;
+    d.last_index = 0;
+  }
   entries_ = 0;
   bytes_ = 0;
 }

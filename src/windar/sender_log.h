@@ -10,17 +10,28 @@
 // part of the sender's own checkpoint (line 33) so an incarnation can still
 // serve peers' rollbacks.
 //
+// Storage is chunked: each destination's entries live in 32-entry chunks
+// drawn from a typed free list (util::Pool), so steady-state append traffic
+// costs one pooled-chunk draw per 32 sends instead of a container
+// reallocation per send, and a chunk fully drained by CHECKPOINT_ADVANCE
+// goes back on the free list for the next burst.  append() returns the log's
+// running totals so the send path books its metrics without re-taking the
+// log lock.
+//
 // Internally synchronized: the application thread appends while the receiver
 // thread releases (CHECKPOINT_ADVANCE) or scans for resends (ROLLBACK).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "util/buffer.h"
 #include "util/bytes.h"
+#include "util/pool.h"
 #include "windar/wire.h"
 
 namespace windar::ft {
@@ -39,14 +50,25 @@ struct LogEntry {
 
 class SenderLog {
  public:
+  /// Entries per pooled chunk — one chunk amortizes 32 appends.
+  static constexpr std::size_t kChunkEntries = 32;
+
+  /// Running totals append() hands back so callers (the send path's metrics
+  /// bookkeeping) never re-take the log lock for entries()/bytes().
+  struct Totals {
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
   explicit SenderLog(int n) : per_dst_(static_cast<std::size_t>(n)) {}
 
   /// Appends an entry for `dst`; send_index values per destination must be
-  /// strictly increasing (they are per-pair counters).
-  void append(int dst, LogEntry entry);
+  /// strictly increasing (they are per-pair counters).  Returns the log's
+  /// totals after the append.
+  Totals append(int dst, LogEntry entry);
 
-  /// Releases every entry for `dst` with send_index <= upto.  Returns how
-  /// many entries were dropped.
+  /// Releases every entry for `dst` with send_index <= upto; fully drained
+  /// chunks return to the free list.  Returns how many entries were dropped.
   std::size_t release_upto(int dst, SeqNo upto);
 
   /// Visits entries for `dst` with send_index > from, ascending.  The log's
@@ -55,8 +77,11 @@ class SenderLog {
   template <typename F>
   void for_each_from(int dst, SeqNo from, F&& f) const {
     std::scoped_lock lock(mu_);
-    for (const LogEntry& e : per_dst_[static_cast<std::size_t>(dst)]) {
-      if (e.send_index > from) f(e);
+    for (const auto& chunk : per_dst_[static_cast<std::size_t>(dst)].chunks) {
+      for (std::size_t i = chunk->begin; i < chunk->end; ++i) {
+        const LogEntry& e = chunk->slots[i];
+        if (e.send_index > from) f(e);
+      }
     }
   }
 
@@ -70,18 +95,45 @@ class SenderLog {
   }
   std::size_t entries_for(int dst) const {
     std::scoped_lock lock(mu_);
-    return per_dst_[static_cast<std::size_t>(dst)].size();
+    return per_dst_[static_cast<std::size_t>(dst)].count;
   }
+
+  // ---- chunk-pool observability (tests) ----
+  std::size_t chunks_for(int dst) const {
+    std::scoped_lock lock(mu_);
+    return per_dst_[static_cast<std::size_t>(dst)].chunks.size();
+  }
+  std::uint64_t chunks_created() const { return chunk_pool_.created(); }
+  std::uint64_t chunks_recycled() const { return chunk_pool_.recycled(); }
+  std::size_t chunks_free() const { return chunk_pool_.free_count(); }
 
   void save(util::ByteWriter& w) const;
   void restore(util::ByteReader& r);
   void clear();
 
  private:
+  // A chunk's live entries occupy [begin, end); release_upto advances begin
+  // (resetting slots so buffer refs drop immediately), append advances the
+  // back chunk's end.  Non-back chunks are always full (end == kChunkEntries).
+  struct Chunk {
+    std::array<LogEntry, kChunkEntries> slots;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  struct DstLog {
+    std::deque<std::unique_ptr<Chunk>> chunks;  // ascending send_index
+    std::size_t count = 0;                      // live entries across chunks
+    SeqNo last_index = 0;  // strictly-increasing guard survives full drains
+    bool has_last = false;
+  };
+
+  void append_locked(int dst, LogEntry entry);
+  void recycle_locked(std::unique_ptr<Chunk> chunk);
   void clear_locked();
 
   mutable std::mutex mu_;
-  std::vector<std::deque<LogEntry>> per_dst_;  // ascending send_index
+  std::vector<DstLog> per_dst_;
+  mutable util::Pool<Chunk> chunk_pool_;
   std::size_t entries_ = 0;
   std::size_t bytes_ = 0;
 };

@@ -194,9 +194,16 @@ SeqNo TdiProtocol::piggybacked_element(std::span<const std::uint8_t> meta,
 
 std::vector<SeqNo> TdiProtocol::decode(std::span<const std::uint8_t> meta,
                                        int n) {
+  std::vector<SeqNo> out;
+  decode_into(meta, n, out);
+  return out;
+}
+
+void TdiProtocol::decode_into(std::span<const std::uint8_t> meta, int n,
+                              std::vector<SeqNo>& out) {
   util::ByteReader r(meta);
   const std::uint32_t head = r.u32();
-  std::vector<SeqNo> out(static_cast<std::size_t>(n), 0);
+  out.assign(static_cast<std::size_t>(n), 0);
   if ((head & (kSparseMarker | kDeltaMarker)) == 0) {
     WINDAR_CHECK_EQ(head, static_cast<std::uint32_t>(n))
         << "depend_interval width mismatch";
@@ -209,7 +216,6 @@ std::vector<SeqNo> TdiProtocol::decode(std::span<const std::uint8_t> meta,
       out[idx] = r.u32();
     }
   }
-  return out;
 }
 
 bool TdiProtocol::deliverable(const QueuedMsg& m, SeqNo delivered_total) const {
@@ -221,7 +227,11 @@ void TdiProtocol::on_deliver(int src, SeqNo send_index, SeqNo deliver_seq,
                              std::span<const std::uint8_t> meta) {
   (void)src;
   (void)send_index;
-  const std::vector<SeqNo> piggybacked = decode(meta, n_);
+  // Decode into the member scratch: on_deliver runs once per delivered
+  // message under the protocol-host lock, so the vector's capacity is reused
+  // instead of reallocated every delivery.
+  decode_into(meta, n_, decode_scratch_);
+  const std::vector<SeqNo>& piggybacked = decode_scratch_;
   const bool delta = encoding_ == Encoding::kDelta;
   // Lines 20, 22-24: advance own interval, merge the rest element-wise max.
   // For sparse/delta metas absent entries decoded to 0, which max-merge

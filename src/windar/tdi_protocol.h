@@ -80,6 +80,12 @@ class TdiProtocol final : public LoggingProtocol {
   /// width n.
   static std::vector<SeqNo> decode(std::span<const std::uint8_t> meta, int n);
 
+  /// Same decode assigned into a caller-owned vector (resized to n); the
+  /// delivery hot path reuses a scratch member so decoding allocates nothing
+  /// in steady state.
+  static void decode_into(std::span<const std::uint8_t> meta, int n,
+                          std::vector<SeqNo>& out);
+
   /// Test-only reference encoder: computes what on_send(dst) would emit with
   /// the original full O(n) change-tick scan, without advancing any channel
   /// state.  test_tdi_delta asserts the journal path is byte-identical.
@@ -120,6 +126,7 @@ class TdiProtocol final : public LoggingProtocol {
   std::vector<std::uint64_t> entry_epoch_;
   std::uint64_t scan_epoch_ = 0;
   std::vector<std::uint32_t> changed_scratch_;
+  std::vector<SeqNo> decode_scratch_;  // reused by on_deliver (host-serialized)
 };
 
 }  // namespace windar::ft

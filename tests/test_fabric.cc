@@ -17,6 +17,7 @@
 
 #include "net/fabric.h"
 #include "net/socket_transport.h"
+#include "util/pool.h"
 
 namespace windar::net {
 namespace {
@@ -228,6 +229,110 @@ TEST(Fabric, ChaosSenderKillBooksUnderChaosCounter) {
   EXPECT_FALSE(f.endpoint(0).alive());
 }
 
+TEST(Fabric, CutThroughDeliversAndPreservesChannelFifo) {
+  // An identically-zero latency model activates the sender-side cut-through.
+  // A tiny ring forces constant full-ring fallbacks to the shard path, so
+  // this exercises the cut-through/shard interleave: the shard_pending gate
+  // must keep every channel's packets in order across the two routes.
+  constexpr int kSenders = 3;
+  constexpr int kPerSender = 4000;
+  Fabric f(kSenders + 1, LatencyModel{0ns, 0ns, 0ns}, 11, 2,
+           InboxConfig{InboxKind::kRing, 8});
+  std::vector<std::uint64_t> next_seq(kSenders, 0);
+  std::atomic<int> received{0};
+  std::thread consumer([&] {
+    while (received.load(std::memory_order_relaxed) < kSenders * kPerSender) {
+      auto p = f.endpoint(kSenders).inbox().pop_until(
+          std::chrono::steady_clock::now() + 100ms);
+      if (!p) continue;
+      ASSERT_LT(p->src, kSenders);
+      // Same-size zero-jitter stream: per-channel FIFO is contractual.
+      EXPECT_EQ(p->seq, next_seq[static_cast<std::size_t>(p->src)]++)
+          << "channel " << p->src;
+      received.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        f.send(make(s, kSenders, static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  consumer.join();
+  const FabricStats s = quiesced_stats(f);
+  EXPECT_EQ(s.packets_sent,
+            static_cast<std::uint64_t>(kSenders) * kPerSender);
+  EXPECT_EQ(s.packets_delivered, s.packets_sent);
+  EXPECT_EQ(s.packets_dropped_dead, 0u);
+}
+
+TEST(Fabric, CutThroughKillStormAccountsEveryPacket) {
+  // The drop-accounting invariant must close exactly when deliveries happen
+  // on sender threads (cut-through) racing kill()/revive() — same contract
+  // as the shard path: a packet books delivered only if its inbox push
+  // succeeded, else dropped_dead, never both and never neither.
+  for (const int shards : {1, 2, 4}) {
+    constexpr int kSenders = 4;
+    constexpr int kPerSender = 2000;
+    Fabric f(kSenders + 1, LatencyModel{0ns, 0ns, 0ns}, 13, shards);
+    std::atomic<bool> stop{false};
+    std::thread chaos_monkey([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        f.kill(1);
+        std::this_thread::sleep_for(50us);
+        f.revive(1);
+        std::this_thread::sleep_for(150us);
+      }
+      f.revive(1);
+    });
+    std::thread drainer([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)f.endpoint(1).inbox().pop_until(
+            std::chrono::steady_clock::now() + 1ms);
+      }
+    });
+    std::vector<std::thread> senders;
+    for (int s = 0; s < kSenders; ++s) {
+      senders.emplace_back([&, s] {
+        for (int i = 0; i < kPerSender; ++i) {
+          f.send(make(s + (s >= 1 ? 1 : 0), 1, static_cast<std::uint64_t>(i)));
+        }
+      });
+    }
+    for (auto& t : senders) t.join();
+    const FabricStats storm = quiesced_stats(f);
+    stop.store(true, std::memory_order_release);
+    chaos_monkey.join();
+    drainer.join();
+    EXPECT_EQ(storm.packets_sent,
+              static_cast<std::uint64_t>(kSenders) * kPerSender)
+        << "shards=" << shards;
+    EXPECT_EQ(storm.packets_sent,
+              storm.packets_delivered + storm.packets_dropped_dead +
+                  storm.packets_dropped_chaos)
+        << "shards=" << shards;
+  }
+}
+
+TEST(Fabric, CutThroughDisableEnvKeepsShardPath) {
+  // WINDAR_FABRIC_CUTTHROUGH=0 must force the classic shard route even on a
+  // zero-latency fabric — the A/B escape hatch for bisects.
+  ::setenv("WINDAR_FABRIC_CUTTHROUGH", "0", 1);
+  {
+    Fabric f(2, LatencyModel{0ns, 0ns, 0ns}, 1, 1);
+    f.send(make(0, 1, 7));
+    auto p = f.endpoint(1).inbox().pop_until(
+        std::chrono::steady_clock::now() + 5s);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, 7u);
+    EXPECT_TRUE(quiesced_stats(f).accounted());
+  }
+  ::unsetenv("WINDAR_FABRIC_CUTTHROUGH");
+}
+
 TEST(Fabric, KillDuringDeliveryStormAccountsEveryPacket) {
   // The lost-delivery miscount regression: a packet must never be counted
   // delivered and then vanish into a just-poisoned inbox.  Hammer endpoint 1
@@ -299,6 +404,83 @@ TEST(Fabric, KillDuringDeliveryStormAccountsEveryPacket) {
                   dead.packets_dropped_chaos)
         << "shards=" << shards;
   }
+}
+
+TEST(Fabric, InboxBackendParityUnderKillStorm) {
+  // The drop-accounting contract is backend-independent: the same concurrent
+  // kill/revive storm must close exactly whether endpoint inboxes are the
+  // bounded ring (and its capacity backpressure) or the legacy queue.
+  for (const InboxKind kind : {InboxKind::kRing, InboxKind::kQueue}) {
+    constexpr int kSenders = 3;
+    constexpr int kPerSender = 1000;
+    Fabric f(kSenders + 1,
+             LatencyModel::deterministic(std::chrono::nanoseconds(200),
+                                         std::chrono::nanoseconds(0)),
+             5, 2, InboxConfig{kind, 32});
+    std::atomic<bool> stop{false};
+    std::thread chaos_monkey([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        f.kill(1);
+        std::this_thread::sleep_for(40us);
+        f.revive(1);
+        std::this_thread::sleep_for(120us);
+      }
+      f.revive(1);
+    });
+    std::thread drainer([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)f.endpoint(1).inbox().pop_until(
+            std::chrono::steady_clock::now() + 1ms);
+      }
+    });
+    std::vector<std::thread> senders;
+    for (int s = 0; s < kSenders; ++s) {
+      senders.emplace_back([&, s] {
+        for (int i = 0; i < kPerSender; ++i) {
+          f.send(make(s + (s >= 1 ? 1 : 0), 1, static_cast<std::uint64_t>(i)));
+        }
+      });
+    }
+    for (auto& t : senders) t.join();
+    const FabricStats s = quiesced_stats(f);
+    stop.store(true, std::memory_order_release);
+    chaos_monkey.join();
+    drainer.join();
+    EXPECT_EQ(s.packets_sent,
+              static_cast<std::uint64_t>(kSenders) * kPerSender)
+        << "inbox=" << to_string(kind);
+    EXPECT_EQ(s.packets_sent, s.packets_delivered + s.packets_dropped_dead +
+                                  s.packets_dropped_chaos)
+        << "inbox=" << to_string(kind);
+  }
+}
+
+TEST(Fabric, RecycledPacketsAreNotDoubleCountedAsAllocs) {
+  // The packets_recycled accounting invariant: every pool-backed payload is
+  // either a fresh allocation or a recycled block, never both and never
+  // neither — created + recycled deltas must sum to the payload count, with
+  // steady-state traffic recycling nearly everything.
+  util::BlockPool::global().trim();
+  const std::uint64_t created0 = util::BlockPool::blocks_created();
+  const std::uint64_t recycled0 = util::BlockPool::blocks_recycled();
+  Fabric f(2, LatencyModel::deterministic(), 1);
+  constexpr std::uint64_t kN = 200;
+  const util::Bytes payload(512, 0x5A);
+  for (std::uint64_t i = 1; i <= kN; ++i) {
+    Packet p;
+    p.src = 0;
+    p.dst = 1;
+    p.seq = i;
+    p.payload = util::Buffer::copy_of(payload);
+    f.send(std::move(p));
+    auto got = f.endpoint(1).inbox().pop();
+    ASSERT_TRUE(got.has_value());
+    // Packet (and its payload block) dies here, feeding the next send.
+  }
+  const std::uint64_t created = util::BlockPool::blocks_created() - created0;
+  const std::uint64_t recycled = util::BlockPool::blocks_recycled() - recycled0;
+  EXPECT_EQ(created + recycled, kN);
+  EXPECT_LE(created, 4u);  // only the warm-up sends may allocate fresh
 }
 
 // --- Backend parity ----------------------------------------------------------

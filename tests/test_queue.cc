@@ -39,6 +39,14 @@ TEST(BlockingQueue, PopUntilTimesOut) {
   EXPECT_FALSE(q.poisoned());
 }
 
+TEST(BlockingQueue, PopUntilPastDeadlineStillReturnsQueuedItem) {
+  // An already-expired deadline must not mask an item that is sitting in
+  // the queue: the final take happens under the lock regardless.
+  BlockingQueue<int> q;
+  ASSERT_TRUE(q.push(8));
+  EXPECT_EQ(q.pop_until(std::chrono::steady_clock::now() - 1s), 8);
+}
+
 TEST(BlockingQueue, PopForTimesOutThenDelivers) {
   BlockingQueue<int> q;
   EXPECT_FALSE(q.pop_for(10ms).has_value());

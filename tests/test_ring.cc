@@ -1,0 +1,344 @@
+// Unit tests for the bounded MPSC ring behind endpoint inboxes: FIFO order,
+// full-ring backpressure, poison/revive semantics, batch pop, and the
+// concurrent-producer contract (the TSan target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/ring.h"
+
+namespace windar::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(MpscRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(MpscRing, FifoOrder) {
+  MpscRing<int> r(8);
+  EXPECT_TRUE(r.push(1));
+  EXPECT_TRUE(r.push(2));
+  EXPECT_TRUE(r.push(3));
+  EXPECT_EQ(r.pop(), 1);
+  EXPECT_EQ(r.pop(), 2);
+  EXPECT_EQ(r.pop(), 3);
+}
+
+TEST(MpscRing, TryPopEmpty) {
+  MpscRing<int> r(4);
+  EXPECT_FALSE(r.try_pop().has_value());
+  EXPECT_TRUE(r.push(5));
+  EXPECT_EQ(r.try_pop(), 5);
+  EXPECT_FALSE(r.try_pop().has_value());
+}
+
+TEST(MpscRing, OfferFullLeavesItemIntact) {
+  MpscRing<int> r(2);
+  int item = 7;
+  EXPECT_EQ(r.offer(item), MpscRing<int>::Offer::kAccepted);
+  item = 8;
+  EXPECT_EQ(r.offer(item), MpscRing<int>::Offer::kAccepted);
+  item = 9;
+  EXPECT_EQ(r.offer(item), MpscRing<int>::Offer::kFull);
+  EXPECT_EQ(item, 9);  // caller keeps ownership on kFull
+  EXPECT_EQ(r.pop(), 7);
+  EXPECT_EQ(r.offer(item), MpscRing<int>::Offer::kAccepted);
+  EXPECT_EQ(r.pop(), 8);
+  EXPECT_EQ(r.pop(), 9);
+}
+
+TEST(MpscRing, OfferDeadOnPoisonedRing) {
+  MpscRing<int> r(4);
+  r.poison();
+  int item = 1;
+  EXPECT_EQ(r.offer(item), MpscRing<int>::Offer::kDead);
+  EXPECT_EQ(r.offer_for(item, 10ms), MpscRing<int>::Offer::kDead);
+}
+
+TEST(MpscRing, OfferForAcceptsOnceConsumerFreesSlot) {
+  MpscRing<int> r(2);
+  int item = 0;
+  EXPECT_EQ(r.offer(item), MpscRing<int>::Offer::kAccepted);
+  item = 1;
+  EXPECT_EQ(r.offer(item), MpscRing<int>::Offer::kAccepted);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(5ms);
+    EXPECT_EQ(r.pop(), 0);
+  });
+  item = 2;
+  EXPECT_EQ(r.offer_for(item, 5s), MpscRing<int>::Offer::kAccepted);
+  consumer.join();
+  EXPECT_EQ(r.pop(), 1);
+  EXPECT_EQ(r.pop(), 2);
+}
+
+TEST(MpscRing, OfferForTimesOutOnStuckFullRing) {
+  MpscRing<int> r(2);
+  int item = 0;
+  EXPECT_EQ(r.offer(item), MpscRing<int>::Offer::kAccepted);
+  EXPECT_EQ(r.offer(item), MpscRing<int>::Offer::kAccepted);
+  item = 42;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(r.offer_for(item, 20ms), MpscRing<int>::Offer::kFull);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 19ms);
+  EXPECT_EQ(item, 42);
+}
+
+TEST(MpscRing, PopUntilTimesOut) {
+  MpscRing<int> r(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(r.pop_until(t0 + 20ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 19ms);
+  EXPECT_FALSE(r.poisoned());
+}
+
+TEST(MpscRing, PopUntilPastDeadlineStillReturnsQueuedItem) {
+  // A push that raced the timeout must not be misreported as empty: the
+  // final locked re-check sees it even when the deadline already passed.
+  MpscRing<int> r(4);
+  ASSERT_TRUE(r.push(3));
+  EXPECT_EQ(r.pop_until(std::chrono::steady_clock::now() - 1s), 3);
+}
+
+TEST(MpscRing, PopWakesOnPush) {
+  MpscRing<int> r(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    ASSERT_TRUE(r.push(42));
+  });
+  EXPECT_EQ(r.pop(), 42);
+  producer.join();
+}
+
+TEST(MpscRing, FullRingBlocksProducerUntilPop) {
+  MpscRing<int> r(2);
+  ASSERT_TRUE(r.push(1));
+  ASSERT_TRUE(r.push(2));
+  EXPECT_EQ(r.size(), 2u);
+  std::atomic<bool> third_landed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(r.push(3));  // blocks: ring full
+    third_landed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(third_landed.load(std::memory_order_acquire));
+  EXPECT_EQ(r.pop(), 1);  // frees a slot
+  producer.join();
+  EXPECT_TRUE(third_landed.load());
+  EXPECT_EQ(r.pop(), 2);
+  EXPECT_EQ(r.pop(), 3);
+}
+
+TEST(MpscRing, PushBatchKeepsOrderAndInterleavesWithPush) {
+  MpscRing<int> r(16);
+  EXPECT_EQ(r.push_batch({1, 2, 3}), 3u);
+  ASSERT_TRUE(r.push(4));
+  EXPECT_EQ(r.push_batch({5, 6}), 2u);
+  for (int want = 1; want <= 6; ++want) EXPECT_EQ(r.pop(), want);
+}
+
+TEST(MpscRing, PushBatchLargerThanCapacityBackpressures) {
+  // A batch bigger than the ring drains through as the consumer pops —
+  // bounded capacity throttles, it never truncates.
+  MpscRing<int> r(4);
+  std::vector<int> batch;
+  for (int i = 0; i < 64; ++i) batch.push_back(i);
+  std::thread producer([&] { EXPECT_EQ(r.push_batch(std::move(batch)), 64u); });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(r.pop(), i);
+  producer.join();
+}
+
+TEST(MpscRing, TryPopBatchDrainsFifoUpToMax) {
+  MpscRing<int> r(16);
+  for (int i = 1; i <= 6; ++i) ASSERT_TRUE(r.push(i));
+  std::vector<int> out{0};  // pre-existing content must be appended to
+  EXPECT_EQ(r.try_pop_batch(&out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(r.try_pop_batch(&out, 10), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(r.try_pop_batch(&out, 10), 0u);
+}
+
+TEST(MpscRing, PoisonDropsQueuedItems) {
+  MpscRing<int> r(8);
+  ASSERT_TRUE(r.push(1));
+  ASSERT_TRUE(r.push(2));
+  r.poison();
+  EXPECT_FALSE(r.pop().has_value());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.poisoned());
+}
+
+TEST(MpscRing, PushAfterPoisonIsDropped) {
+  MpscRing<int> r(4);
+  r.poison();
+  EXPECT_FALSE(r.push(7));
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(MpscRing, PoisonWakesBlockedConsumer) {
+  MpscRing<int> r(4);
+  std::thread killer([&] {
+    std::this_thread::sleep_for(10ms);
+    r.poison();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(r.pop().has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1s);
+  killer.join();
+}
+
+TEST(MpscRing, PoisonWakesAllBlockedProducers) {
+  // Fill the ring, park several producers on the full-ring wait, then
+  // poison: every one must return false promptly instead of blocking for
+  // the dead consumer.
+  MpscRing<int> r(2);
+  ASSERT_TRUE(r.push(1));
+  ASSERT_TRUE(r.push(2));
+  constexpr int kProducers = 3;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < kProducers; ++i) {
+    producers.emplace_back([&] {
+      if (!r.push(99)) rejected.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(20ms);
+  r.poison();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kProducers);
+}
+
+TEST(MpscRing, ReviveRearmsAfterPoison) {
+  MpscRing<int> r(4);
+  r.poison();
+  r.revive();
+  EXPECT_FALSE(r.poisoned());
+  EXPECT_TRUE(r.push(9));
+  EXPECT_EQ(r.pop(), 9);
+}
+
+TEST(MpscRing, ReviveOnHealthyRingKeepsQueuedItems) {
+  // Regression: callers revive defensively on every incarnation, including
+  // the first.  A revive of a never-poisoned ring must not discard packets
+  // that legitimately arrived before the consumer came up.
+  MpscRing<int> r(8);
+  ASSERT_TRUE(r.push(1));
+  ASSERT_TRUE(r.push(2));
+  r.revive();
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.pop(), 1);
+  EXPECT_EQ(r.pop(), 2);
+}
+
+TEST(MpscRing, MoveOnlyPayload) {
+  MpscRing<std::unique_ptr<int>> r(4);
+  ASSERT_TRUE(r.push(std::make_unique<int>(11)));
+  auto v = r.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 11);
+}
+
+TEST(MpscRing, DestructionReleasesQueuedItems) {
+  // Leak check (ASan/valgrind): items still queued at destruction are
+  // destroyed, not leaked.
+  auto payload = std::make_shared<int>(5);
+  {
+    MpscRing<std::shared_ptr<int>> r(8);
+    ASSERT_TRUE(r.push(payload));
+    ASSERT_TRUE(r.push(payload));
+  }
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(MpscRing, ConcurrentProducersDeliverEverythingInPerProducerOrder) {
+  // The MPSC contract under real contention (primary TSan target): N
+  // producers race a small ring; the consumer must see every item exactly
+  // once, FIFO per producer.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 1000;
+  MpscRing<int> r(16);  // small on purpose: exercises the full-ring path
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&r, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(r.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> last_seen(kProducers, -1);
+  std::vector<int> batch;
+  int total = 0;
+  while (total < kProducers * kPerProducer) {
+    batch.clear();
+    if (r.try_pop_batch(&batch, 64) == 0) {
+      auto v = r.pop_for(1s);
+      ASSERT_TRUE(v.has_value());
+      batch.push_back(*v);
+    }
+    for (int v : batch) {
+      const int p = v / kPerProducer;
+      const int i = v % kPerProducer;
+      EXPECT_GT(i, last_seen[static_cast<std::size_t>(p)]);
+      last_seen[static_cast<std::size_t>(p)] = i;
+      ++total;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(r.size(), 0u);
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(last_seen[static_cast<std::size_t>(p)], kPerProducer - 1);
+  }
+}
+
+TEST(MpscRing, ConcurrentProducersSurvivePoisonMidStream) {
+  // Poison at a random instant under producer load: every push return must
+  // be truthful (true = consumed exactly once or still queued; false =
+  // dropped), with no torn state for the next incarnation after revive.
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    MpscRing<int> r(8);
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          if (r.push(1)) {
+            accepted.fetch_add(1);
+          } else {
+            return;  // poisoned
+          }
+        }
+      });
+    }
+    std::uint64_t popped = 0;
+    std::thread consumer([&] {
+      while (auto v = r.pop()) ++popped;
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * (round % 7)));
+    r.poison();
+    stop.store(true, std::memory_order_release);
+    for (auto& t : producers) t.join();
+    consumer.join();
+    // Accepted items were either consumed or discarded by poison's drain;
+    // the consumer can never see more than was accepted.
+    EXPECT_LE(popped, accepted.load());
+    r.revive();
+    EXPECT_TRUE(r.push(7));
+    EXPECT_EQ(r.try_pop(), 7);
+  }
+}
+
+}  // namespace
+}  // namespace windar::util

@@ -115,5 +115,76 @@ TEST(SenderLog, BytesAccountsMetaAndPayload) {
   EXPECT_GE(log.bytes() - empty, 100u);
 }
 
+TEST(SenderLog, AppendReturnsRunningTotals) {
+  // The Totals return is what lets the send path book peak-log metrics
+  // without a second lock round-trip; it must match the accessors exactly.
+  SenderLog log(2);
+  for (SeqNo i = 1; i <= 10; ++i) {
+    const SenderLog::Totals t = log.append(1, entry(i, 8));
+    EXPECT_EQ(t.entries, log.entries());
+    EXPECT_EQ(t.bytes, log.bytes());
+    EXPECT_EQ(t.entries, static_cast<std::size_t>(i));
+  }
+}
+
+TEST(SenderLog, ChunkedStorageRecyclesReleasedChunks) {
+  // Steady state: append a few chunks' worth, release them, append again —
+  // the second wave must reuse the first wave's chunks, not allocate.
+  SenderLog log(2);
+  constexpr std::size_t kWave = 100;  // > 3 chunks at 32 entries/chunk
+  for (SeqNo i = 1; i <= kWave; ++i) log.append(1, entry(i));
+  const std::size_t created_wave1 = log.chunks_created();
+  EXPECT_GE(created_wave1, kWave / 32);
+  log.release_upto(1, kWave);
+  EXPECT_EQ(log.entries(), 0u);
+  EXPECT_GT(log.chunks_free(), 0u);
+  for (SeqNo i = kWave + 1; i <= 2 * kWave; ++i) log.append(1, entry(i));
+  EXPECT_EQ(log.chunks_created(), created_wave1);
+  EXPECT_GT(log.chunks_recycled(), 0u);
+}
+
+TEST(SenderLog, PartialReleaseKeepsChunkWindowCorrect) {
+  // Releasing into the middle of a chunk advances its live window without
+  // recycling it; iteration and counts must see exactly the survivors.
+  SenderLog log(1);
+  for (SeqNo i = 1; i <= 40; ++i) log.append(0, entry(i));
+  EXPECT_EQ(log.release_upto(0, 35), 35u);  // chunk 0 gone, chunk 1 partial
+  EXPECT_EQ(log.entries(), 5u);
+  std::vector<SeqNo> seen;
+  log.for_each_from(0, 0, [&](const LogEntry& e) { seen.push_back(e.send_index); });
+  EXPECT_EQ(seen, (std::vector<SeqNo>{36, 37, 38, 39, 40}));
+}
+
+TEST(SenderLog, SaveRestoreRoundTripAcrossChunkBoundaries) {
+  // 100 entries per destination spans several 32-entry chunks and a partial
+  // tail; the checkpoint blob must round-trip every entry byte-identically.
+  SenderLog log(2);
+  for (SeqNo i = 1; i <= 100; ++i) {
+    log.append(0, entry(i, static_cast<std::size_t>(i % 7) + 1));
+    log.append(1, entry(i, static_cast<std::size_t>(i % 5) + 1));
+  }
+  log.release_upto(0, 50);  // a released prefix must not resurrect
+  util::ByteWriter w;
+  log.save(w);
+  const util::Bytes blob = w.take();
+
+  SenderLog copy(2);
+  util::ByteReader r(blob);
+  copy.restore(r);
+  EXPECT_EQ(copy.entries(), log.entries());
+  EXPECT_EQ(copy.bytes(), log.bytes());
+  std::vector<SeqNo> seen;
+  copy.for_each_from(0, 0, [&](const LogEntry& e) { seen.push_back(e.send_index); });
+  ASSERT_EQ(seen.size(), 50u);
+  EXPECT_EQ(seen.front(), 51u);
+  EXPECT_EQ(seen.back(), 100u);
+  std::size_t n1 = 0;
+  copy.for_each_from(1, 0, [&](const LogEntry& e) {
+    ++n1;
+    EXPECT_EQ(e.payload.size(), static_cast<std::size_t>(e.send_index % 5) + 1);
+  });
+  EXPECT_EQ(n1, 100u);
+}
+
 }  // namespace
 }  // namespace windar::ft
