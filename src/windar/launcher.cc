@@ -315,6 +315,9 @@ int run_worker(const WorkerConfig& cfg, const WorkerFn& fn) {
   pp.logger_endpoint =
       uses_logger ? logger_shard_endpoint(cfg.n, cfg.rank, logger_shards)
                   : -1;
+  // WINDAR_CKPT / WINDAR_CKPT_ANCHOR_K propagate through fork+exec, so the
+  // whole job (and every respawned incarnation) resolves the same plan.
+  pp.ckpt_async = resolve_ckpt_async(-1);
   pp.incarnation = cfg.incarnation;
 
   int rc = 0;
@@ -334,6 +337,13 @@ int run_worker(const WorkerConfig& cfg, const WorkerFn& fn) {
       rc = 41;
     }
     if (rc == 0) {
+      // Flush the async checkpoint writer (and its advance fan-out) before
+      // declaring done: every data-plane send must precede our kDone, so by
+      // the time the launcher's kAllDone releases any peer from park, our
+      // last CHECKPOINT_ADVANCE frames are already on the wire ahead of the
+      // control-plane round trip — peers snapshot balanced fabric stats.
+      proc.drain_checkpoints();
+      (void)data.flush(std::chrono::milliseconds(1000));
       util::ByteWriter w;
       w.u64(digest);
       ctrl.send(ctrl_packet(cfg.rank, launcher_ep, kDone, cfg.incarnation,

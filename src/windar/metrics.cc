@@ -13,6 +13,8 @@ void Metrics::merge(const Metrics& o) {
   resent_msgs += o.resent_msgs;
   dup_dropped += o.dup_dropped;
   suppressed_sends += o.suppressed_sends;
+  bad_packets += o.bad_packets;
+  held_sends += o.held_sends;
   piggyback_idents += o.piggyback_idents;
   piggyback_bytes += o.piggyback_bytes;
   piggyback_bytes_dense += o.piggyback_bytes_dense;
@@ -29,6 +31,9 @@ void Metrics::merge(const Metrics& o) {
   log_peak_entries = std::max(log_peak_entries, o.log_peak_entries);
   log_released_entries += o.log_released_entries;
   checkpoints += o.checkpoints;
+  ckpt_committed += o.ckpt_committed;
+  ckpt_stall_ns += o.ckpt_stall_ns;
+  ckpt_commit_ns += o.ckpt_commit_ns;
   recoveries += o.recoveries;
   rollback_broadcasts += o.rollback_broadcasts;
 }

@@ -21,6 +21,10 @@ struct Metrics {
   std::uint64_t resent_msgs = 0;       // log-driven retransmissions
   std::uint64_t dup_dropped = 0;
   std::uint64_t suppressed_sends = 0;  // skipped during rolling forward
+  std::uint64_t bad_packets = 0;       // malformed control payloads dropped
+  // Survivor non-stop recovery: application sends parked in the per-channel
+  // holdback queue while the destination replays (flushed on replay drain).
+  std::uint64_t held_sends = 0;
 
   // piggyback overhead (per outgoing app message)
   std::uint64_t piggyback_idents = 0;
@@ -56,7 +60,14 @@ struct Metrics {
   std::uint64_t log_peak_bytes = 0;
   std::uint64_t log_peak_entries = 0;
   std::uint64_t log_released_entries = 0;
-  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoints = 0;       // snapshots sealed (app thread)
+  std::uint64_t ckpt_committed = 0;    // images durably written + published
+  // Checkpoint stall: time the application thread spent inside checkpoint()
+  // (seal only under async commit; seal + serialize + fsync when
+  // synchronous).  ckpt_commit_ns is the writer-side cost of serialization
+  // and durable I/O, wherever it ran.
+  std::int64_t ckpt_stall_ns = 0;
+  std::int64_t ckpt_commit_ns = 0;
   std::uint64_t recoveries = 0;
   // ROLLBACK broadcast rounds (first announce + backoff retries).  A
   // recovery that converges first try contributes 1; a retry storm shows up

@@ -34,6 +34,21 @@ struct ProcessParams {
   // default the application thread hands packets to the fabric directly and
   // the sending thread is opt-in (it only adds a scheduling hop here).
   bool sender_thread = false;
+  // Asynchronous checkpoint commit: checkpoint() seals a cheap in-memory
+  // snapshot and a background writer serializes + durably writes it, with
+  // CHECKPOINT_ADVANCE emitted strictly after durability.  Only effective in
+  // non-blocking mode (blocking mode is single-threaded and stays
+  // synchronous); disabled, the whole commit runs on the application thread.
+  bool ckpt_async = true;
+  // Survivor non-stop recovery: a ROLLBACK answer resends at most
+  // `replay_burst` logged messages inline, then continues in bursts per
+  // periodic tick, so a survivor's dispatch thread never stalls on a long
+  // replay (or on transport backpressure to the recovering rank).  While a
+  // replay is draining, new application sends to that rank park in a
+  // bounded holdback queue of `holdback_cap` packets (overflow transmits
+  // directly; per-pair FIFO delivery reorders at the receiver).
+  std::size_t replay_burst = 128;
+  std::size_t holdback_cap = 512;
   // Optional causal-event recorder (owned by the caller, shared by ranks).
   TraceSink* trace = nullptr;
   std::uint32_t incarnation = 0;  // 0 = original process

@@ -50,7 +50,7 @@ Process::Process(net::Transport& transport, CheckpointStore& store,
       [this](net::Packet&& p) { return dispatch(std::move(p)); },
       [this] { periodic(); },
       [this] { delivery_.notify(); },
-      [this] { return recovery_.retry_pending(); },
+      [this] { return recovery_.work_pending(); },
       [this] {
         if (!life_.killed.load(std::memory_order_acquire)) {
           life_.aborted.store(true, std::memory_order_release);
@@ -67,11 +67,24 @@ Process::Process(net::Transport& transport, CheckpointStore& store,
   if (recovering) recovery_.restore_from_checkpoint();
 
   send_path_.start();
+  // Background checkpoint writer: only in non-blocking mode (blocking mode
+  // is single-threaded by contract) and only when asked for.  Without it,
+  // checkpoint() commits inline.
+  if (params_.mode == SendMode::kNonBlocking && params_.ckpt_async) {
+    recovery_.start_writer();
+  }
 
   if (recovering) recovery_.announce_rollback();
 }
 
-Process::~Process() { send_path_.stop(); }
+Process::~Process() {
+  // Clean teardown drains queued checkpoints (the app was promised them); a
+  // fault-injected one drops them — the snapshots died with the
+  // incarnation, and since no CHECKPOINT_ADVANCE went out for them, peers
+  // kept every log entry the next incarnation could need.
+  recovery_.stop_writer(!life_.killed.load(std::memory_order_acquire));
+  send_path_.stop();
+}
 
 // ---------------------------------------------------------------------------
 // packet routing

@@ -87,6 +87,11 @@ class Process {
   /// done.  Called on the application thread.
   void park(const std::atomic<bool>& all_done);
 
+  /// Blocks until every queued checkpoint is durably committed (no-op when
+  /// the background writer is off).  Callers that snapshot metrics or store
+  /// stats at end-of-job call this first, so in-flight commits are counted.
+  void drain_checkpoints() { recovery_.flush_checkpoints(); }
+
   Metrics metrics() const { return metrics_.snapshot(); }
   SeqNo delivered_total() const { return channels_.delivered_total(); }
   const LoggingProtocol& protocol_for_test() const { return tracker_.raw(); }

@@ -8,23 +8,51 @@
 // CHECKPOINT_ADVANCE notifications to the sender log.  Also owns the
 // independent-checkpoint path (image assembly and log-release fan-out).
 //
-// The internal mutex guards only the gather bookkeeping (who has responded,
-// broadcast timing); `gather_done_` is additionally exported as an atomic so
-// the DeliveryQueue's gate check never takes a recovery lock.  Lock order:
-// the recovery mutex may be held while taking ChannelState / ProtocolHost /
+// Checkpoint plane (paper §III.D, ROADMAP item 3).  checkpoint() only
+// *seals* a snapshot on the application thread: the app bytes are copied
+// once into a shared buffer, the protocol/channel/log state is captured
+// under their own short locks, and the pending advances are collected.  No
+// disk I/O and no full-image serialization happen under any hot-path lock.
+// When the background writer is running (start_writer; non-blocking mode
+// with params.ckpt_async), the sealed snapshot is queued and the writer
+// serializes + durably commits it; CHECKPOINT_ADVANCE fan-out — the
+// message that lets peers discard log entries forever — happens strictly
+// AFTER the store reports durability.  Without a writer the same commit
+// runs inline (blocking mode, unit tests, WINDAR_CKPT=sync).
+//
+// Survivor non-stop recovery.  A ROLLBACK answer resends at most
+// params.replay_burst logged messages inline; a longer replay becomes a
+// ReplaySession drained in bursts from periodic(), so the survivor's
+// dispatch thread keeps serving its own sends and deliveries while a peer
+// rebuilds (and never parks on transport backpressure to the recovering
+// rank for an unbounded stream).  While a session is draining, new
+// application sends to that rank park in SendPath's holdback queue; the
+// RESPONSE goes out only when the session drains, and the channel resumes
+// right after.
+//
+// The internal mutex guards the gather bookkeeping and replay sessions;
+// `gather_done_` is additionally exported as an atomic so the
+// DeliveryQueue's gate check never takes a recovery lock.  Lock order: the
+// recovery mutex may be held while taking ChannelState / ProtocolHost /
 // log / metrics locks, never the reverse, and is never held together with
-// the DeliveryQueue's lock.
+// the DeliveryQueue's lock.  The writer queue has its own leaf mutex.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "exec/scheduler.h"
 #include "net/transport.h"
+#include "util/wait.h"
 #include "windar/channel_state.h"
 #include "windar/checkpoint.h"
 #include "windar/metrics.h"
@@ -43,6 +71,7 @@ class RecoveryManager {
                   const ProcessParams& params, ChannelState& channels,
                   SenderLog& log, ProtocolHost& tracker, SendPath& send_path,
                   SharedMetrics& metrics);
+  ~RecoveryManager();
 
   // ---- recovering side ----
 
@@ -68,6 +97,10 @@ class RecoveryManager {
   /// should poll on a short tick).
   bool retry_pending() const;
 
+  /// retry_pending() plus "a replay session is draining" — the receiver
+  /// thread's urgent() hook, so paced replays pump on the 1ms tick.
+  bool work_pending() const;
+
   // ---- packet handlers (single dispatch thread) ----
 
   void handle_rollback(int from, std::uint32_t peer_epoch,
@@ -76,18 +109,55 @@ class RecoveryManager {
   void handle_tel_query_reply(net::Packet&& p);
   void handle_checkpoint_advance(net::Packet&& p);
 
-  /// Timed work: ROLLBACK re-broadcast while responses are outstanding.
+  /// Timed work: ROLLBACK re-broadcast while responses are outstanding, and
+  /// burst-pumping of in-flight replay sessions.
   void periodic();
 
-  // ---- checkpoint plane (application thread) ----
+  // ---- checkpoint plane ----
 
+  /// Seals a snapshot (application thread, cheap) and either queues it for
+  /// the background writer or commits it inline when no writer is running.
   void checkpoint(std::span<const std::uint8_t> app_state);
+
+  /// Spawns the background checkpoint writer (thread, or sibling fiber when
+  /// constructed on a cooperative task).  Idempotent.
+  void start_writer();
+  /// Stops the writer.  drain=true commits everything still queued first
+  /// (clean teardown must not lose checkpoints the app was promised);
+  /// drain=false discards the queue (fault injection: an uncommitted
+  /// snapshot died with the process, which is protocol-safe — no advance
+  /// went out, so peers kept their logs).
+  void stop_writer(bool drain);
+  /// Blocks until every queued snapshot is durably committed (tests,
+  /// pre-teardown barriers).  Returns immediately when no writer runs.
+  void flush_checkpoints();
 
   std::string debug_string() const;
 
  private:
+  struct PendingCheckpoint {
+    SealedCheckpoint image;
+    // Sender log sealed as entry vectors (Buffer refbumps); serialized to
+    // image.log by the committer, off the application thread.
+    std::vector<std::vector<LogEntry>> log;
+    std::vector<std::pair<int, SeqNo>> advances;
+  };
+
+  struct ReplaySession {
+    std::uint32_t epoch = 0;
+    std::vector<LogEntry> entries;  // snapshot of the log tail to resend
+    std::size_t next = 0;
+  };
+
   void broadcast_rollback_locked();
   void update_gather_done_locked();
+  /// Sends up to replay_burst entries of `s`; on drain sends the RESPONSE,
+  /// resumes the held-back channel, and returns true (session done).
+  bool pump_replay_locked(int from, ReplaySession& s);
+  /// Serializes, durably saves, and — only then — fans out the advances.
+  /// Returns false iff the store's pre-commit hook dropped the commit.
+  bool commit_checkpoint(PendingCheckpoint& pc);
+  void writer_loop();
 
   net::Transport& transport_;
   CheckpointStore& store_;
@@ -111,6 +181,20 @@ class RecoveryManager {
   // Current re-broadcast wait: starts at params.rollback_retry, doubles per
   // retry round up to params.rollback_retry_cap (capped exponential backoff).
   Clock::duration retry_interval_;
+  std::map<int, ReplaySession> replays_;       // guarded by mu_
+  std::atomic<bool> replay_pending_{false};    // mirrors !replays_.empty()
+
+  // Background checkpoint writer.  wq_mu_ is a leaf (never held while
+  // taking mu_ or any component lock); commit_checkpoint runs with it
+  // released.
+  mutable std::mutex wq_mu_;
+  mutable util::WaitSet wq_cv_;
+  std::deque<PendingCheckpoint> wq_;
+  bool writer_running_ = false;
+  bool writer_stop_ = false;
+  bool committing_ = false;
+  std::thread writer_thread_;
+  exec::TaskHandle writer_task_;
 
   std::optional<util::Bytes> restored_app_;  // set pre-threads, then const
   std::uint64_t ckpt_seq_ = 0;               // application thread only

@@ -49,7 +49,8 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
 
   net::Fabric fabric(endpoints, config.latency, config.seed,
                      config.fabric_shards);
-  CheckpointStore store(config.checkpoint_spill_dir);
+  CheckpointStore store(config.checkpoint_spill_dir,
+                        config.ckpt_delta_anchor);
   std::vector<std::unique_ptr<EventLogger>> loggers;
   for (int s = 0; s < logger_shards; ++s) {
     EventLogger::Params lp;
@@ -80,6 +81,9 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
     p.logger_endpoint =
         uses_logger ? logger_shard_endpoint(config.n, rank, logger_shards)
                     : -1;
+    p.ckpt_async = resolve_ckpt_async(config.ckpt_async);
+    p.replay_burst = config.replay_burst;
+    p.holdback_cap = config.holdback_cap;
     p.trace = config.trace;
     p.incarnation = incarnation;
     return p;
@@ -166,6 +170,13 @@ JobResult run_job(const JobConfig& config, const FtRankFn& fn) {
         slot.phase = "fn";
         Ctx ctx(*proc);
         fn(ctx);
+        // Flush the async checkpoint writer before counting this rank done:
+        // its last CHECKPOINT_ADVANCE fan-out enters the fabric while every
+        // peer Process is still alive (running or parked), and the commit
+        // lands in this incarnation's metrics.  A chaos kill can still fire
+        // here — the queued commits either complete (sends from a dead rank
+        // drop harmlessly) and park() below throws the pending Killed.
+        proc->drain_checkpoints();
         {
           // fn_done flips under slot.mu so the injector's check-and-kill is
           // atomic against completion: a finished rank is never killed.

@@ -76,6 +76,16 @@ struct JobConfig {
   // else 1 (the seed's single-logger deployment).  Clamped to n.
   int logger_shards = 0;
   std::string checkpoint_spill_dir;  // empty: in-memory stable store
+  // Checkpoint plane knobs.  ckpt_async: -1 resolves the WINDAR_CKPT env
+  // var (default asynchronous background commit); 0/1 force sync/async.
+  // ckpt_delta_anchor: full image every K commits, deltas between (0
+  // resolves WINDAR_CKPT_ANCHOR_K, default 8; 1 disables deltas).
+  int ckpt_async = -1;
+  std::size_t ckpt_delta_anchor = 0;
+  // Survivor non-stop recovery pacing (see ProcessParams::replay_burst /
+  // holdback_cap); the defaults match ProcessParams.
+  std::size_t replay_burst = 128;
+  std::size_t holdback_cap = 512;
   TraceSink* trace = nullptr;        // optional causal-event recorder
 };
 

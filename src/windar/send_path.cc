@@ -17,7 +17,9 @@ SendPath::SendPath(net::Transport& transport, const ProcessParams& params,
       channels_(channels),
       tracker_(tracker),
       log_(log),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      paused_(static_cast<std::size_t>(params.n)),
+      holdback_(static_cast<std::size_t>(params.n)) {}
 
 SendPath::~SendPath() { stop(); }
 
@@ -52,9 +54,54 @@ void SendPath::stop() {
   if (send_task_.valid()) send_task_.join();
   recv_task_ = exec::TaskHandle{};
   send_task_ = exec::TaskHandle{};
+  // Held packets die with the incarnation, exactly like queue A's.
+  std::scoped_lock lock(hb_mu_);
+  for (auto& q : holdback_) q.clear();
 }
 
 void SendPath::poison() { queue_a_.poison(); }
+
+void SendPath::pause_channel(int dst) {
+  paused_[static_cast<std::size_t>(dst)].store(true, std::memory_order_release);
+}
+
+void SendPath::resume_channel(int dst) {
+  paused_[static_cast<std::size_t>(dst)].store(false,
+                                               std::memory_order_release);
+  std::deque<net::Packet> flush;
+  {
+    std::scoped_lock lock(hb_mu_);
+    flush.swap(holdback_[static_cast<std::size_t>(dst)]);
+  }
+  for (net::Packet& p : flush) {
+    // The replay RESPONSE choreography may have raised the suppression
+    // watermark past a held packet (the recovering rank already delivered
+    // it before failing); re-check rather than re-send blindly.
+    if (channels_.should_suppress(dst, static_cast<SeqNo>(p.seq))) {
+      metrics_.update([](Metrics& m) { ++m.suppressed_sends; });
+    } else {
+      metrics_.update([](Metrics& m) { ++m.app_transmitted; });
+      transmit(std::move(p));
+    }
+  }
+}
+
+bool SendPath::maybe_holdback(int dst, net::Packet& p) {
+  if (params_.mode != SendMode::kNonBlocking) return false;
+  if (!paused_[static_cast<std::size_t>(dst)].load(std::memory_order_acquire)) {
+    return false;
+  }
+  std::scoped_lock lock(hb_mu_);
+  auto& q = holdback_[static_cast<std::size_t>(dst)];
+  if (q.size() >= params_.holdback_cap) {
+    // Overflow valve: transmit directly.  The receiver's per-pair FIFO gate
+    // parks out-of-order arrivals, so correctness is unaffected — the bound
+    // only exists to cap survivor memory during a long replay.
+    return false;
+  }
+  q.push_back(std::move(p));
+  return true;
+}
 
 void SendPath::transmit(net::Packet p) {
   if (params_.mode == SendMode::kNonBlocking && params_.sender_thread) {
@@ -144,6 +191,10 @@ void SendPath::send_app(int dst, int tag,
   const bool suppressed = channels_.should_suppress(dst, idx);
   if (suppressed) {
     metrics_.update([](Metrics& m) { ++m.suppressed_sends; });
+  } else if (maybe_holdback(dst, p)) {
+    // Destination is replaying: parked until its watermark catches up
+    // (counted as transmitted/suppressed when the holdback flushes).
+    metrics_.update([](Metrics& m) { ++m.held_sends; });
   } else {
     metrics_.update([](Metrics& m) { ++m.app_transmitted; });
     transmit(std::move(p));

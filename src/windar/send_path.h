@@ -22,9 +22,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <thread>
+#include <vector>
 
 #include "exec/scheduler.h"
 #include "net/transport.h"
@@ -84,6 +87,16 @@ class SendPath {
   void send_control(int dst, Kind kind, std::uint64_t seq,
                     util::Buffer payload);
 
+  /// Survivor non-stop recovery: while `dst` replays, new application sends
+  /// to it park in a bounded holdback queue instead of racing the replay
+  /// stream (or blocking on the recovering rank's backpressure).
+  /// resume_channel flushes the queue in order, re-checking suppression —
+  /// the replay's RESPONSE may have raised the watermark past held packets.
+  /// Non-blocking mode only; blocking mode waits for per-send acks, so a
+  /// held packet would deadlock the application thread.
+  void pause_channel(int dst);
+  void resume_channel(int dst);
+
   /// Blocking-mode event pump: pops at most one packet (bounded by
   /// `deadline`), dispatches it, runs periodic work.  Throws Killed /
   /// JobAborted as appropriate.
@@ -91,6 +104,7 @@ class SendPath {
 
  private:
   void transmit(net::Packet p);  // queue A (sender thread) or direct
+  bool maybe_holdback(int dst, net::Packet& p);
   void recv_loop();
   void send_loop();
 
@@ -105,6 +119,13 @@ class SendPath {
 
   std::atomic<bool> closing_{false};
   util::BlockingQueue<net::Packet> queue_a_;  // outgoing (paper's queue A)
+  // Holdback plane (survivor non-stop recovery).  The paused flags are read
+  // on every send without a lock; hb_mu_ guards the queues themselves and is
+  // a leaf (taken from the app thread in send_app and the dispatch thread in
+  // resume_channel, never while holding another engine lock on this side).
+  std::vector<std::atomic<bool>> paused_;
+  std::mutex hb_mu_;
+  std::vector<std::deque<net::Packet>> holdback_;
   std::thread recv_thread_;
   std::thread send_thread_;
   exec::TaskHandle recv_task_;  // fiber-mode counterparts of the threads

@@ -83,6 +83,35 @@ void SenderLog::save(util::ByteWriter& w) const {
   }
 }
 
+std::vector<std::vector<LogEntry>> SenderLog::seal() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::vector<LogEntry>> out(per_dst_.size());
+  for (std::size_t d = 0; d < per_dst_.size(); ++d) {
+    const DstLog& dst = per_dst_[d];
+    out[d].reserve(dst.count);
+    for (const auto& chunk : dst.chunks) {
+      for (std::size_t i = chunk->begin; i < chunk->end; ++i) {
+        out[d].push_back(chunk->slots[i]);  // Buffer copies: refcount bumps
+      }
+    }
+  }
+  return out;
+}
+
+void SenderLog::serialize_sealed(
+    const std::vector<std::vector<LogEntry>>& sealed, util::ByteWriter& w) {
+  w.u32(static_cast<std::uint32_t>(sealed.size()));
+  for (const auto& entries : sealed) {
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const LogEntry& e : entries) {
+      w.u32(e.send_index);
+      w.i32(e.tag);
+      w.bytes(e.meta.span());
+      w.bytes(e.payload.span());
+    }
+  }
+}
+
 void SenderLog::restore(util::ByteReader& r) {
   std::scoped_lock lock(mu_);
   clear_locked();

@@ -111,6 +111,18 @@ class SenderLog {
   void restore(util::ByteReader& r);
   void clear();
 
+  /// Zero-copy snapshot for the asynchronous checkpoint seal: one entry
+  /// vector per destination, each LogEntry aliasing the live entry's buffers
+  /// (refcount bumps, no byte copies).  The background writer serializes the
+  /// snapshot later with serialize_sealed, off the application thread and
+  /// without holding the log lock.
+  std::vector<std::vector<LogEntry>> seal() const;
+
+  /// Serializes a sealed snapshot in exactly the wire form save() emits, so
+  /// restore() reads either interchangeably.
+  static void serialize_sealed(const std::vector<std::vector<LogEntry>>& sealed,
+                               util::ByteWriter& w);
+
  private:
   // A chunk's live entries occupy [begin, end); release_upto advances begin
   // (resetting slots so buffer refs drop immediately), append advances the

@@ -147,6 +147,31 @@ TEST(Chaos, BackoffCapsRollbackRebroadcastsDuringLongOutage) {
             40u * result.total.recoveries);
 }
 
+TEST(Chaos, SurvivorsKeepSendingDuringPacedReplay) {
+  // Survivor non-stop recovery under chaos: replay_burst=1 forces every
+  // ROLLBACK answer through the paced-replay path (one logged resend per
+  // periodic tick), and a tiny holdback_cap exercises the overflow valve.
+  // Convergence to the clean digest proves survivors neither stalled their
+  // own traffic nor corrupted the replay stream; a long checkpoint interval
+  // keeps the sender logs deep so the replay window is wide.
+  ChaosPlan plan = base_plan();
+  plan.checkpoint_every = 1000;  // no log release: maximal replay depth
+  plan.events = {kill_on_delivery(1, 20)};
+  JobConfig cfg = chaos::plan_config(plan, ProtocolKind::kTdi, true);
+  cfg.replay_burst = 1;
+  cfg.holdback_cap = 2;
+  auto sum = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const int iterations = plan.iterations;
+  const JobResult faulty = run_job(cfg, [iterations, sum](Ctx& ctx) {
+    sum->fetch_add(chaos::ring_digest_rank(ctx, iterations, 1000) %
+                   1000000007ull);
+  });
+  EXPECT_EQ(clean_digest(plan, ProtocolKind::kTdi), sum->load());
+  EXPECT_EQ(faulty.total.recoveries, 1u);
+  // The replay outlived one burst, so it went through the paced path.
+  EXPECT_GT(faulty.total.resent_msgs, 1u);
+}
+
 TEST(Chaos, ChaosRunsAcrossAllProtocols) {
   for (ProtocolKind proto :
        {ProtocolKind::kTdi, ProtocolKind::kTdiSparse, ProtocolKind::kTag,

@@ -4,8 +4,10 @@
 // the PWD determinant-gather gate.  Rank 1 is played by the test itself.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "net/fabric.h"
 #include "windar/codec.h"
@@ -254,6 +256,190 @@ TEST(RecoveryManager, RepeatedRestoreIncrementsRecoveries) {
   EXPECT_EQ(eng.metrics.snapshot().recoveries, 1u);
   eng.rec.restore_from_checkpoint();
   EXPECT_EQ(eng.metrics.snapshot().recoveries, 2u);
+}
+
+// Drains everything the fabric has delivered to `ep` after letting in-flight
+// packets land (flat latency is 1 us; 20 ms is orders of magnitude past it).
+std::vector<net::Packet> settle_and_drain(net::Fabric& fabric, int ep) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<net::Packet> out;
+  while (auto p = fabric.endpoint(ep).inbox().try_pop()) {
+    out.push_back(std::move(*p));
+  }
+  return out;
+}
+
+// The durability gate, synchronous flavour: a kill between seal and fsync
+// (simulated by the store's pre-commit drop hook) means the image never
+// became stable — so no CHECKPOINT_ADVANCE may reach the peer, whose log
+// entries are exactly what the next incarnation will replay from.
+TEST(RecoveryManager, DroppedCommitSendsNoAdvance) {
+  net::Fabric fabric(2, flat_latency(), 20);
+  CheckpointStore store;
+  store.set_pre_commit_hook_for_test(
+      [](int) { return CheckpointStore::CommitAction::kDrop; });
+  Engine eng(fabric, store, ProtocolKind::kTdi, 0);
+  eng.channels.advance_deliver(1);
+  eng.channels.advance_deliver(1);
+
+  eng.rec.checkpoint(util::Bytes{1});
+
+  EXPECT_FALSE(store.has(0));
+  EXPECT_EQ(store.stats().dropped_saves, 1u);
+  // Sealed but never committed: counted as a checkpoint, not as a commit.
+  EXPECT_EQ(eng.metrics.snapshot().checkpoints, 1u);
+  EXPECT_EQ(eng.metrics.snapshot().ckpt_committed, 0u);
+  for (const auto& p : settle_and_drain(fabric, 1)) {
+    EXPECT_NE(p.kind, wire(Kind::kCheckpointAdvance));
+  }
+}
+
+// The durability gate, asynchronous flavour: while the background writer is
+// wedged inside the durable write, the advance must not have left — it is
+// emitted strictly after the store reports the image stable.
+TEST(RecoveryManager, AsyncCommitEmitsAdvanceOnlyAfterDurability) {
+  net::Fabric fabric(2, flat_latency(), 21);
+  CheckpointStore store;
+  std::atomic<bool> release{false};
+  std::atomic<bool> entered{false};
+  store.set_pre_commit_hook_for_test([&](int) {
+    entered.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return CheckpointStore::CommitAction::kProceed;
+  });
+  Engine eng(fabric, store, ProtocolKind::kTdi, 0);
+  eng.rec.start_writer();
+  eng.channels.advance_deliver(1);
+  eng.channels.advance_deliver(1);
+
+  eng.rec.checkpoint(util::Bytes{5});  // returns after the seal
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Commit is mid-"fsync": nothing published, nothing advertised.
+  EXPECT_FALSE(store.has(0));
+  EXPECT_TRUE(settle_and_drain(fabric, 1).empty());
+  EXPECT_EQ(eng.metrics.snapshot().ckpt_committed, 0u);
+
+  release.store(true);
+  eng.rec.flush_checkpoints();
+  EXPECT_TRUE(store.has(0));
+  EXPECT_EQ(eng.metrics.snapshot().ckpt_committed, 1u);
+  const auto after = settle_and_drain(fabric, 1);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].kind, wire(Kind::kCheckpointAdvance));
+  EXPECT_EQ(after[0].seq, 2u);
+  eng.rec.stop_writer(/*drain=*/true);
+}
+
+// Killed teardown drops queued-but-uncommitted snapshots entirely: no file,
+// no advance — the protocol treats them as if the checkpoint never happened.
+TEST(RecoveryManager, KilledTeardownDropsQueuedCheckpoints) {
+  net::Fabric fabric(2, flat_latency(), 22);
+  CheckpointStore store;
+  std::atomic<bool> release{false};
+  std::atomic<bool> entered{false};
+  store.set_pre_commit_hook_for_test([&](int) {
+    entered.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return CheckpointStore::CommitAction::kProceed;
+  });
+  Engine eng(fabric, store, ProtocolKind::kTdi, 0);
+  eng.rec.start_writer();
+  eng.channels.advance_deliver(1);
+  eng.rec.checkpoint(util::Bytes{1});
+  while (!entered.load()) {  // the writer is now wedged on commit #1
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  eng.channels.advance_deliver(1);
+  eng.rec.checkpoint(util::Bytes{2});  // still queued
+
+  // stop_writer joins the writer, which is wedged inside commit #1 — let it
+  // finish from the side once the queue purge has happened.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release.store(true);
+  });
+  eng.rec.stop_writer(/*drain=*/false);  // fault-injected teardown
+  releaser.join();
+
+  // The first commit was already past the point of no return and completes;
+  // the queued second snapshot is gone for good.
+  eng.rec.flush_checkpoints();
+  auto img = store.load(0);
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ(img->ckpt_seq, 1u);
+  EXPECT_EQ(eng.metrics.snapshot().ckpt_committed, 1u);
+}
+
+// Survivor non-stop recovery: a replay longer than replay_burst drains in
+// bursts across periodic() ticks; fresh application sends to the recovering
+// rank park in the holdback queue and flush — suppression re-checked —
+// after the RESPONSE.
+TEST(RecoveryManager, PacedReplayParksFreshSendsUntilResponse) {
+  net::Fabric fabric(2, flat_latency(), 23);
+  CheckpointStore store;
+  ProcessParams base;
+  base.replay_burst = 2;
+  Engine eng(fabric, store, ProtocolKind::kTdi, 0, base);
+  for (SeqNo i = 1; i <= 5; ++i) {
+    eng.channels.next_send_index(1);
+    eng.append_log(1, i);
+  }
+
+  eng.rec.handle_rollback(1, /*peer_epoch=*/1, {0, 0});
+  EXPECT_TRUE(eng.rec.work_pending());  // session still draining
+
+  // Burst 1: resends 1-2 only; the RESPONSE must not have left yet.
+  auto got = settle_and_drain(fabric, 1);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].seq, 1u);
+  EXPECT_EQ(got[1].seq, 2u);
+
+  // A fresh application send parks instead of racing the replay stream.
+  const util::Bytes payload{9};
+  eng.path.send_app(1, 0, payload);
+  EXPECT_EQ(eng.metrics.snapshot().held_sends, 1u);
+  EXPECT_TRUE(settle_and_drain(fabric, 1).empty());
+
+  eng.rec.periodic();  // burst 2: resends 3-4
+  got = settle_and_drain(fabric, 1);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].seq, 4u);
+  EXPECT_TRUE(eng.rec.work_pending());
+
+  eng.rec.periodic();  // burst 3: resend 5, RESPONSE, then the held send
+  got = settle_and_drain(fabric, 1);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].kind, wire(Kind::kApp));
+  EXPECT_EQ(got[0].seq, 5u);
+  EXPECT_EQ(got[1].kind, wire(Kind::kResponse));
+  EXPECT_EQ(got[2].kind, wire(Kind::kApp));
+  EXPECT_EQ(got[2].seq, 6u);  // the parked fresh send, flushed in order
+  EXPECT_FALSE(eng.rec.work_pending());
+  EXPECT_EQ(eng.metrics.snapshot().resent_msgs, 5u);
+  // Each packet counted exactly once: 6 app sends, 1 held then transmitted.
+  EXPECT_EQ(eng.metrics.snapshot().app_transmitted, 1u);
+}
+
+TEST(RecoveryManager, MalformedAdvanceReleasesNothing) {
+  net::Fabric fabric(2, flat_latency(), 24);
+  CheckpointStore store;
+  Engine eng(fabric, store, ProtocolKind::kTdi, 0);
+  eng.append_log(1, 1);
+  eng.append_log(1, 2);
+
+  // Truncated payload (no u32 delivered_total): must be dropped whole —
+  // releasing log entries on a bad packet would be unrecoverable.
+  eng.rec.handle_checkpoint_advance(
+      control_packet(1, 0, Kind::kCheckpointAdvance, /*upto=*/2, {}));
+  EXPECT_EQ(eng.log.entries_for(1), 2u);
+  EXPECT_EQ(eng.metrics.snapshot().log_released_entries, 0u);
+  EXPECT_EQ(eng.metrics.snapshot().bad_packets, 1u);
 }
 
 TEST(RecoveryManager, CheckpointAdvanceReleasesSenderLog) {
