@@ -162,6 +162,15 @@ class ByteReader {
     return out;
   }
 
+  /// Consumes `n` raw bytes and returns a view into the underlying data
+  /// (valid as long as the span the reader was built over).
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    WINDAR_CHECK_LE(n, remaining()) << "ByteReader underflow";
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
   std::size_t remaining() const { return data_.size() - pos_; }
   bool exhausted() const { return remaining() == 0; }
 

@@ -118,15 +118,35 @@ void write_delta_section(util::ByteWriter& w, const util::Buffer& base,
   }
 }
 
+// Every reader below that load() reaches is fail-soft: it reports
+// truncation or corruption through its return value instead of
+// CHECK-aborting, because load() consumes whatever the spill directory
+// holds and a torn or foreign file must be skipped, not panicked on.
+
 util::Buffer read_delta_section(util::ByteReader& r, const util::Buffer& base,
                                 bool* ok) {
+  if (r.remaining() < 8) {
+    *ok = false;
+    return {};
+  }
   const std::uint32_t new_len = r.u32();
   const std::uint32_t n_ops = r.u32();
   util::Bytes out;
-  out.reserve(new_len);
+  // reserve() is only a hint, so cap what an unvalidated length from the
+  // file can make us pre-allocate; a lying new_len is caught by the exact
+  // size check at the end.
+  out.reserve(std::min<std::size_t>(new_len, base.size() + r.remaining()));
   for (std::uint32_t i = 0; i < n_ops; ++i) {
+    if (r.remaining() < 1) {
+      *ok = false;
+      return {};
+    }
     const std::uint8_t op = r.u8();
     if (op == kOpCopyBase) {
+      if (r.remaining() < 8) {
+        *ok = false;
+        return {};
+      }
       const std::uint32_t off = r.u32();
       const std::uint32_t len = r.u32();
       if (std::size_t{off} + len > base.size()) {
@@ -135,9 +155,17 @@ util::Buffer read_delta_section(util::ByteReader& r, const util::Buffer& base,
       }
       out.insert(out.end(), base.data() + off, base.data() + off + len);
     } else if (op == kOpLiteral) {
+      if (r.remaining() < 4) {
+        *ok = false;
+        return {};
+      }
       const std::uint32_t len = r.u32();
-      WINDAR_CHECK_LE(len, r.remaining()) << "truncated delta literal";
-      for (std::uint32_t b = 0; b < len; ++b) out.push_back(r.u8());
+      if (len > r.remaining()) {
+        *ok = false;
+        return {};
+      }
+      const auto lit = r.raw(len);
+      out.insert(out.end(), lit.begin(), lit.end());
     } else {
       *ok = false;
       return {};
@@ -156,10 +184,31 @@ void write_counters(util::ByteWriter& w, const SealedCheckpoint& img) {
   w.u32(img.delivered_total);
 }
 
-void read_counters(util::ByteReader& r, SealedCheckpoint& img) {
-  img.last_send = r.u32_vec();
-  img.last_deliver = r.u32_vec();
+bool try_u32_vec(util::ByteReader& r, std::vector<SeqNo>& out) {
+  if (r.remaining() < 4) return false;
+  const std::uint32_t n = r.u32();
+  if (std::size_t{n} * sizeof(std::uint32_t) > r.remaining()) return false;
+  out.clear();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.u32());
+  return true;
+}
+
+bool try_read_counters(util::ByteReader& r, SealedCheckpoint& img) {
+  if (!try_u32_vec(r, img.last_send)) return false;
+  if (!try_u32_vec(r, img.last_deliver)) return false;
+  if (r.remaining() < 4) return false;
   img.delivered_total = r.u32();
+  return true;
+}
+
+/// Length-prefixed section read; false on truncation.
+bool try_buffer_section(util::ByteReader& r, util::Buffer& out) {
+  if (r.remaining() < 4) return false;
+  const std::uint32_t n = r.u32();
+  if (n > r.remaining()) return false;
+  out = util::Buffer::copy_of(r.raw(n));
+  return true;
 }
 
 /// Full-file read; nullopt when the file does not exist.
@@ -276,33 +325,43 @@ std::uint64_t blob_seq(std::span<const std::uint8_t> blob) {
   return r.u64();
 }
 
-SealedCheckpoint decode_full(std::span<const std::uint8_t> blob) {
+std::optional<SealedCheckpoint> try_decode_full(
+    std::span<const std::uint8_t> blob) {
+  if (!header_plausible(blob, kKindFull)) return std::nullopt;
   util::ByteReader r(blob);
-  WINDAR_CHECK_EQ(r.u32(), kMagic) << "bad checkpoint blob magic";
-  WINDAR_CHECK_EQ(r.u8(), kKindFull) << "expected full checkpoint blob";
+  (void)r.u32();  // magic, validated above
+  (void)r.u8();   // kind, validated above
   SealedCheckpoint img;
   img.ckpt_seq = r.u64();
-  img.app = util::Buffer(r.bytes());
-  img.proto = util::Buffer(r.bytes());
-  read_counters(r, img);
-  img.log = util::Buffer(r.bytes());
-  WINDAR_CHECK(r.exhausted()) << "trailing checkpoint bytes";
+  if (!try_buffer_section(r, img.app)) return std::nullopt;
+  if (!try_buffer_section(r, img.proto)) return std::nullopt;
+  if (!try_read_counters(r, img)) return std::nullopt;
+  if (!try_buffer_section(r, img.log)) return std::nullopt;
+  if (!r.exhausted()) return std::nullopt;
   return img;
+}
+
+SealedCheckpoint decode_full(std::span<const std::uint8_t> blob) {
+  auto img = try_decode_full(blob);
+  WINDAR_CHECK(img.has_value()) << "bad or truncated full checkpoint blob";
+  return std::move(*img);
 }
 
 std::optional<SealedCheckpoint> apply_delta(std::span<const std::uint8_t> blob,
                                             const SealedCheckpoint& base) {
+  if (!header_plausible(blob, kKindDelta)) return std::nullopt;
   util::ByteReader r(blob);
-  WINDAR_CHECK_EQ(r.u32(), kMagic) << "bad checkpoint blob magic";
-  WINDAR_CHECK_EQ(r.u8(), kKindDelta) << "expected delta checkpoint blob";
+  (void)r.u32();  // magic, validated above
+  (void)r.u8();   // kind, validated above
   SealedCheckpoint img;
   img.ckpt_seq = r.u64();
+  if (r.remaining() < 16) return std::nullopt;
   const std::uint64_t base_seq = r.u64();
   const std::uint64_t base_hash = r.u64();
   if (base_seq != base.ckpt_seq || base_hash != image_hash(base)) {
     return std::nullopt;  // stale lineage or foreign base
   }
-  read_counters(r, img);
+  if (!try_read_counters(r, img)) return std::nullopt;
   bool ok = true;
   img.app = read_delta_section(r, base.app, &ok);
   if (ok) img.proto = read_delta_section(r, base.proto, &ok);
@@ -465,8 +524,12 @@ std::optional<CheckpointImage> CheckpointStore::load(int rank) const {
   // empty in-memory map but must still find the checkpoints its predecessor
   // (or any prior incarnation) saved.  No store lock across the I/O.
   const auto anchor = read_file(file_path(rank));
-  if (!anchor || !header_plausible(*anchor, kKindFull)) return std::nullopt;
-  SealedCheckpoint cur = ckptwire::decode_full(*anchor);
+  if (!anchor) return std::nullopt;
+  // Fail-soft: a torn, truncated, or foreign anchor means "no checkpoint",
+  // never an abort — the rank then restarts from scratch, which is safe.
+  auto decoded = ckptwire::try_decode_full(*anchor);
+  if (!decoded) return std::nullopt;
+  SealedCheckpoint cur = std::move(*decoded);
 
   // Chain deltas d<seq> onto the anchor in ascending seq order; each must
   // name the reconstructed image as its base (seq + content hash), so stale
@@ -492,7 +555,10 @@ std::optional<CheckpointImage> CheckpointStore::load(int rank) const {
   for (const auto& [seq, path] : deltas) {
     if (seq <= cur.ckpt_seq) continue;
     const auto blob = read_file(path);
-    if (!blob || !header_plausible(*blob, kKindDelta)) continue;
+    if (!blob) continue;
+    // apply_delta is fail-soft end to end (header, counters, op stream):
+    // anything torn or mis-chained is skipped, keeping the newest image
+    // that did reconstruct.
     auto next = ckptwire::apply_delta(*blob, cur);
     if (!next) continue;  // broken chain: keep the newest applicable image
     cur = std::move(*next);

@@ -100,6 +100,12 @@ util::Bytes encode_delta(const SealedCheckpoint& img,
 bool is_delta(std::span<const std::uint8_t> blob);
 std::uint64_t blob_seq(std::span<const std::uint8_t> blob);
 
+/// Fail-soft decode of a full-image blob: nullopt on any header mismatch,
+/// truncation, or trailing garbage.  load() uses this so a torn or foreign
+/// spill file is skipped instead of aborting the process.
+std::optional<SealedCheckpoint> try_decode_full(
+    std::span<const std::uint8_t> blob);
+/// CHECK-ing variant for blobs the process itself produced.
 SealedCheckpoint decode_full(std::span<const std::uint8_t> blob);
 /// Applies a delta blob to the image it was diffed against; returns nullopt
 /// when the blob's base seq/hash do not match `base` (stale or foreign).

@@ -138,8 +138,17 @@ void RecoveryManager::handle_rollback(int from, std::uint32_t peer_epoch,
                      [&](const LogEntry& e) { entries.push_back(e); });
 
   std::scoped_lock lock(mu_);
-  // A retried ROLLBACK (the peer never saw our RESPONSE) restarts the
-  // stream; duplicates are dropped by the receiver's FIFO gate.
+  if (auto stale = replays_.find(from);
+      stale != replays_.end() && peer_epoch < stale->second.epoch) {
+    // A delayed retransmit from an older incarnation must not rewind the
+    // replay stream already serving the newer one — restarting it would
+    // re-send from a stale watermark and re-certify with a RESPONSE the
+    // dead incarnation can never consume.
+    return;
+  }
+  // A retried ROLLBACK from the *same* incarnation (the peer never saw our
+  // RESPONSE) restarts the stream; duplicates are dropped by the receiver's
+  // FIFO gate.
   auto [it, inserted] = replays_.insert_or_assign(
       from, ReplaySession{peer_epoch, std::move(entries), 0});
   (void)inserted;

@@ -144,6 +144,8 @@ class RecoveryManager {
   };
 
   struct ReplaySession {
+    // Incarnation this stream serves; a ROLLBACK from an older epoch is a
+    // stale retransmit and must not restart (rewind) the stream.
     std::uint32_t epoch = 0;
     std::vector<LogEntry> entries;  // snapshot of the log tail to resend
     std::size_t next = 0;

@@ -92,6 +92,16 @@ bool SendPath::maybe_holdback(int dst, net::Packet& p) {
     return false;
   }
   std::scoped_lock lock(hb_mu_);
+  // Re-check under the lock: resume_channel clears paused_ *before* taking
+  // hb_mu_ to swap the queue, so a flag observed clear here means the flush
+  // already ran (or will run on an empty queue) — pushing now would strand
+  // the packet until some unrelated future pause/resume of this channel,
+  // and the receiver's FIFO gate would park all later traffic behind the
+  // missing seq.  Transmit directly instead; if the flush is still draining
+  // on the other thread, the FIFO gate reorders the overtake harmlessly.
+  if (!paused_[static_cast<std::size_t>(dst)].load(std::memory_order_acquire)) {
+    return false;
+  }
   auto& q = holdback_[static_cast<std::size_t>(dst)];
   if (q.size() >= params_.holdback_cap) {
     // Overflow valve: transmit directly.  The receiver's per-pair FIFO gate

@@ -222,6 +222,39 @@ TEST(CkptDelta, RejectsForeignBase) {
   EXPECT_TRUE(ckptwire::apply_delta(delta, base).has_value());
 }
 
+// Fail-soft decoding: a blob whose 13-byte header is plausible but whose
+// body is truncated (host crash mid-write on a non-atomic filesystem) must
+// report failure through the return value, never CHECK-abort — load()
+// consumes whatever the spill directory holds.
+TEST(CkptDelta, TruncatedBlobsFailSoftAtEveryCut) {
+  const SealedCheckpoint base = big_sealed(1);
+  SealedCheckpoint next = big_sealed(2);
+  util::Bytes app = next.app.to_vector();
+  app[123] ^= 0xFF;
+  next.app = util::Buffer(std::move(app));
+
+  const util::Bytes full = ckptwire::encode_full(next);
+  ASSERT_TRUE(ckptwire::try_decode_full(full).has_value());
+  const util::Bytes delta = ckptwire::encode_delta(next, base);
+  ASSERT_TRUE(ckptwire::apply_delta(delta, base).has_value());
+
+  for (std::size_t cut = 0; cut < full.size(); cut += 7) {
+    const util::Bytes torn(full.begin(),
+                           full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(ckptwire::try_decode_full(torn).has_value()) << cut;
+  }
+  for (std::size_t cut = 0; cut < delta.size(); cut += 7) {
+    const util::Bytes torn(delta.begin(),
+                           delta.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(ckptwire::apply_delta(torn, base).has_value()) << cut;
+  }
+
+  // Trailing garbage is rejected too, not silently ignored.
+  util::Bytes padded = full;
+  padded.push_back(0);
+  EXPECT_FALSE(ckptwire::try_decode_full(padded).has_value());
+}
+
 // ---------------------------------------------------------------------------
 // delta chains on disk
 // ---------------------------------------------------------------------------
@@ -276,6 +309,38 @@ TEST(CheckpointStore, CorruptDeltaFileFallsBackToAnchor) {
   auto img = reader.load(0);
   ASSERT_TRUE(img.has_value());
   EXPECT_EQ(img->ckpt_seq, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// Crash window, anchor edition: a torn anchor whose header survived intact
+// (truncated past the first 13 bytes) must read as "no checkpoint", and a
+// torn delta next to a good anchor must not mask the anchor.
+TEST(CheckpointStore, TruncatedFilesWithPlausibleHeadersFailSoft) {
+  const std::string dir = "/tmp/windar_test_ckpt_truncated";
+  std::filesystem::remove_all(dir);
+  {
+    CheckpointStore writer(dir, /*anchor_every=*/4);
+    CheckpointImage img = sample_image();
+    img.ckpt_seq = 1;
+    writer.save(0, img);
+    img.ckpt_seq = 2;
+    img.delivered_total = 20;
+    writer.save(0, img);  // delta file d2
+  }
+  // Truncate the delta just past its header: the anchor must still load.
+  std::filesystem::resize_file(dir + "/ckpt_rank0.d2.bin", 16);
+  {
+    CheckpointStore reader(dir);
+    auto img = reader.load(0);
+    ASSERT_TRUE(img.has_value());
+    EXPECT_EQ(img->ckpt_seq, 1u);
+  }
+  // Truncate the anchor itself: no checkpoint, but no abort either.
+  std::filesystem::resize_file(dir + "/ckpt_rank0.bin", 14);
+  {
+    CheckpointStore reader(dir);
+    EXPECT_FALSE(reader.load(0).has_value());
+  }
   std::filesystem::remove_all(dir);
 }
 

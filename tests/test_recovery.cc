@@ -9,7 +9,11 @@
 // wall-clock schedules covered.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
+#include <string>
 
 #include "mp/collectives.h"
 #include "windar/fault.h"
@@ -244,11 +248,18 @@ TEST(Recovery, SurvivorLogsServeRecoveryAfterCompletion) {
 TEST(Recovery, CheckpointSpillToDisk) {
   ExchangeApp app;
   JobConfig cfg = config(3, ProtocolKind::kTdi, SendMode::kNonBlocking);
-  cfg.checkpoint_spill_dir = "/tmp/windar_test_recovery_spill";
+  // PID-unique dir: ctest registers this binary twice (plain and
+  // _logger_shards4) and runs both concurrently under -j; a shared dir
+  // lets one process delete or clobber the other's checkpoints mid-write
+  // (rename CHECK-aborts, or recovery restores a foreign image and hangs).
+  const std::string dir =
+      "/tmp/windar_test_recovery_spill." + std::to_string(::getpid());
+  cfg.checkpoint_spill_dir = dir;
   cfg.chaos = {kill_on_delivery(1, 8)};
   const double clean =
       run_exchange(config(3, ProtocolKind::kTdi, SendMode::kNonBlocking), app);
   EXPECT_EQ(clean, run_exchange(cfg, app));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

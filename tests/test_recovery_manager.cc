@@ -426,6 +426,42 @@ TEST(RecoveryManager, PacedReplayParksFreshSendsUntilResponse) {
   EXPECT_EQ(eng.metrics.snapshot().app_transmitted, 1u);
 }
 
+// Regression: a delayed ROLLBACK retransmit from an older incarnation must
+// not rewind the replay stream already serving the newer one — restarting
+// it would re-send from a stale watermark and certify with a RESPONSE the
+// dead incarnation can never consume.
+TEST(RecoveryManager, StaleEpochRollbackDoesNotRewindReplay) {
+  net::Fabric fabric(2, flat_latency(), 31);
+  CheckpointStore store;
+  ProcessParams base;
+  base.replay_burst = 2;
+  Engine eng(fabric, store, ProtocolKind::kTdi, 0, base);
+  for (SeqNo i = 1; i <= 5; ++i) {
+    eng.channels.next_send_index(1);
+    eng.append_log(1, i);
+  }
+
+  eng.rec.handle_rollback(1, /*peer_epoch=*/2, {0, 0});
+  auto got = settle_and_drain(fabric, 1);
+  ASSERT_EQ(got.size(), 2u);  // burst 1: seqs 1-2
+
+  // The stale epoch-1 retransmit is dropped outright — no restart, no
+  // extra packets — and the stream continues where it left off.
+  eng.rec.handle_rollback(1, /*peer_epoch=*/1, {0, 0});
+  EXPECT_TRUE(settle_and_drain(fabric, 1).empty());
+  eng.rec.periodic();
+  got = settle_and_drain(fabric, 1);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].seq, 3u);
+  EXPECT_EQ(got[1].seq, 4u);
+
+  // A same-epoch retransmit (the peer saw nothing) still restarts.
+  eng.rec.handle_rollback(1, /*peer_epoch=*/2, {0, 0});
+  got = settle_and_drain(fabric, 1);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].seq, 1u);
+}
+
 TEST(RecoveryManager, MalformedAdvanceReleasesNothing) {
   net::Fabric fabric(2, flat_latency(), 24);
   CheckpointStore store;

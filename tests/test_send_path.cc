@@ -101,6 +101,37 @@ TEST(SendPath, SuppressedResendSkipsTheWireButIsLogged) {
   EXPECT_EQ(h.log.entries_for(1), 1u);
 }
 
+// Regression: the app thread could read paused==true, lose the CPU, and
+// push into a holdback queue that resume_channel had already swapped out —
+// stranding the packet (and FIFO-parking all later traffic behind its seq)
+// with no failure present.  maybe_holdback now re-checks the flag under
+// hb_mu_.  Hammer the window from a churning pause/resume thread: with the
+// bug a packet goes missing within a few thousand iterations; with the fix
+// every send must reach the wire (directly or via a flush).
+TEST(SendPath, PauseResumeRaceStrandsNoPackets) {
+  Harness h;
+  constexpr std::uint64_t kSends = 4000;
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      h.path.pause_channel(1);
+      h.path.resume_channel(1);
+    }
+  });
+  const util::Bytes payload{1};
+  for (std::uint64_t i = 0; i < kSends; ++i) h.path.send_app(1, 0, payload);
+  done.store(true, std::memory_order_release);
+  churn.join();
+  h.path.resume_channel(1);  // flush anything legitimately parked
+
+  const Metrics m = h.metrics.snapshot();
+  EXPECT_EQ(m.app_sent, kSends);
+  EXPECT_EQ(m.suppressed_sends, 0u);
+  // Every send either went out directly or was flushed by a resume; none
+  // may remain stranded in a swapped-out holdback queue.
+  EXPECT_EQ(m.app_transmitted, kSends);
+}
+
 TEST(SendPath, BlockingSendPumpsOwnInboxUntilAcked) {
   Harness h(SendMode::kBlocking);
   // Rank 1: accept the message after a delay, then ack it.
